@@ -1,0 +1,30 @@
+"""Figure 8: multiple-counter microbenchmark (coarse-grain/no-conflicts).
+
+Regenerates the paper's cycles-vs-processor-count series for BASE, MCS,
+BASE+SLE and BASE+SLE+TLR.  Expected shape: BASE degrades with processor
+count (lock contention with no data sharing), MCS is flat-ish with a
+software overhead, SLE and TLR are identical (no conflicts) and scale.
+"""
+
+from repro.harness.config import SyncScheme
+from repro.harness.experiments import figure8_multiple_counter
+from repro.harness.report import ascii_series, sweep_table
+
+from conftest import emit, processor_counts, scale
+
+
+def test_figure8(benchmark):
+    result = benchmark.pedantic(
+        figure8_multiple_counter,
+        kwargs={"total_increments": 1024 * scale(),
+                "processor_counts": processor_counts()},
+        rounds=1, iterations=1)
+    emit("figure8-multiple-counter",
+         sweep_table(result) + "\n\n" + ascii_series(result))
+    for scheme, series in result.series.items():
+        benchmark.extra_info[scheme.value] = series
+    # Shape assertions (the paper's qualitative claims).
+    n = result.processor_counts[-1]
+    assert result.cycles(SyncScheme.TLR, n) == result.cycles(SyncScheme.SLE, n)
+    assert result.cycles(SyncScheme.TLR, n) < result.cycles(SyncScheme.MCS, n)
+    assert result.cycles(SyncScheme.TLR, n) < result.cycles(SyncScheme.BASE, n)

@@ -1,0 +1,33 @@
+"""Figure 9: single-counter microbenchmark (fine-grain/high-conflict).
+
+Regenerates the cycles-vs-processors series including the TLR-strict-ts
+variant of Section 3.2.  Expected shape: BASE and SLE degrade together
+(SLE falls back under conflicts), MCS is scalable at a constant
+overhead, TLR queues on the data and stays flat and lowest, and
+TLR-strict-ts sits above TLR (protocol-order/timestamp-order mismatch
+restarts).
+"""
+
+from repro.harness.config import SyncScheme
+from repro.harness.experiments import figure9_single_counter
+from repro.harness.report import ascii_series, sweep_table
+
+from conftest import emit, processor_counts, scale
+
+
+def test_figure9(benchmark):
+    result = benchmark.pedantic(
+        figure9_single_counter,
+        kwargs={"total_increments": 512 * scale(),
+                "processor_counts": processor_counts()},
+        rounds=1, iterations=1)
+    emit("figure9-single-counter",
+         sweep_table(result) + "\n\n" + ascii_series(result))
+    for scheme, series in result.series.items():
+        benchmark.extra_info[scheme.value] = series
+    n = result.processor_counts[-1]
+    tlr = result.cycles(SyncScheme.TLR, n)
+    assert tlr < result.cycles(SyncScheme.BASE, n)
+    assert tlr < result.cycles(SyncScheme.MCS, n)
+    assert tlr < result.cycles(SyncScheme.SLE, n)
+    assert tlr < result.cycles(SyncScheme.TLR_STRICT_TS, n)

@@ -1,0 +1,29 @@
+"""Figure 10: doubly-linked-list microbenchmark (dynamic conflicts).
+
+Expected shape: BASE and SLE degrade under contention (SLE cannot decide
+when to speculate and falls back), MCS is scalable with overhead, TLR
+exploits enqueue/dequeue concurrency that no single lock can expose.
+"""
+
+from repro.harness.config import SyncScheme
+from repro.harness.experiments import figure10_linked_list
+from repro.harness.report import ascii_series, sweep_table
+
+from conftest import emit, processor_counts, scale
+
+
+def test_figure10(benchmark):
+    result = benchmark.pedantic(
+        figure10_linked_list,
+        kwargs={"total_ops": 512 * scale(),
+                "processor_counts": processor_counts()},
+        rounds=1, iterations=1)
+    emit("figure10-linked-list",
+         sweep_table(result) + "\n\n" + ascii_series(result))
+    for scheme, series in result.series.items():
+        benchmark.extra_info[scheme.value] = series
+    n = result.processor_counts[-1]
+    tlr = result.cycles(SyncScheme.TLR, n)
+    assert tlr < result.cycles(SyncScheme.BASE, n)
+    assert tlr < result.cycles(SyncScheme.MCS, n)
+    assert tlr < result.cycles(SyncScheme.SLE, n)

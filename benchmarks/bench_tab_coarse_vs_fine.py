@@ -1,0 +1,25 @@
+"""Section 6.3 in-text experiment: coarse-grain vs fine-grain mp3d.
+
+One lock over all cells against per-cell locks.  Expected shape: the
+single coarse lock is catastrophic for BASE and MCS (severe contention)
+but *faster* than fine grain under TLR (smaller data footprint, better
+memory behaviour) -- the paper reports coarse-TLR beating fine-BASE by
+2.40x and fine-TLR by 1.70x.
+"""
+
+from repro.harness.experiments import table_coarse_vs_fine
+from repro.harness.report import dict_table
+
+from conftest import emit
+
+
+def test_coarse_vs_fine(benchmark):
+    result = benchmark.pedantic(table_coarse_vs_fine,
+                                kwargs={"num_cpus": 16},
+                                rounds=1, iterations=1)
+    emit("table-coarse-vs-fine", dict_table(result))
+    benchmark.extra_info.update(
+        {k: v for k, v in result.items() if isinstance(v, (int, float))})
+    assert result["speedup_tlr_coarse_over_base_fine"] > 1.3
+    assert result["speedup_tlr_coarse_over_tlr_fine"] > 1.0
+    assert result["coarse/BASE"] > 2 * result["fine/BASE"]

@@ -1,0 +1,37 @@
+"""Benchmark-harness helpers.
+
+Each benchmark regenerates one of the paper's tables or figures: it runs
+the experiment sweep, prints the same rows/series the paper reports (so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation on
+a terminal), attaches the numbers as ``extra_info`` for machine
+consumption, and writes a text artifact under ``benchmarks/out/``.
+
+Scale knobs: ``REPRO_BENCH_SCALE`` (default 1) multiplies workload
+sizes; ``REPRO_BENCH_FULL=1`` switches to the full processor-count sweep
+(2..16 in steps of 2) instead of the quick {2,4,8,16}.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def scale() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+def processor_counts() -> tuple[int, ...]:
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return (2, 4, 6, 8, 10, 12, 14, 16)
+    return (2, 4, 8, 16)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Writing your own lock-based program against the simulator API.
+
+This example builds a tiny bank: accounts in simulated memory, transfer
+transactions under one lock, and an auditor that sums balances inside a
+critical section.  It shows the full public workflow:
+
+1. allocate simulated memory with :class:`AddressSpace`;
+2. write threads as generator coroutines against :class:`ThreadEnv`
+   (``env.read`` / ``env.write`` / ``env.compute`` /
+   ``env.critical(lock, body)``);
+3. wrap them in a :class:`Workload` with a validator;
+4. run under any :class:`SyncScheme`.
+
+The invariant -- total money is conserved, and the auditor always sees a
+consistent snapshot -- holds under TLR even though the lock is never
+acquired, because transactions commit atomically.
+
+Run:  python examples/custom_workload.py
+"""
+
+import random
+
+from repro import SyncScheme, SystemConfig, Workload, run
+from repro.workloads import AddressSpace
+
+NUM_ACCOUNTS = 8
+INITIAL_BALANCE = 100
+TRANSFERS_PER_THREAD = 40
+NUM_TELLERS = 3
+
+
+def build_bank() -> Workload:
+    space = AddressSpace()
+    lock = space.alloc_word()
+    accounts = space.alloc_lines(NUM_ACCOUNTS)
+    audits: list[int] = []
+
+    def teller(tid: int):
+        rng = random.Random(tid)
+        moves = [(rng.randrange(NUM_ACCOUNTS), rng.randrange(NUM_ACCOUNTS),
+                  rng.randint(1, 20)) for _ in range(TRANSFERS_PER_THREAD)]
+
+        def thread(env):
+            if tid == 0:
+                # Seed the balances before anyone transfers.
+                def seed(env):
+                    for account in accounts:
+                        yield env.write(account, INITIAL_BALANCE,
+                                        pc="bank.seed")
+                yield from env.critical(lock, seed, pc="bank.seed")
+
+            for src, dst, amount in moves:
+                def body(env, src=src, dst=dst, amount=amount):
+                    balance = yield env.read(accounts[src], pc="bank.src")
+                    if balance < amount:
+                        return  # insufficient funds; nothing to undo
+                    yield env.write(accounts[src], balance - amount,
+                                    pc="bank.debit")
+                    other = yield env.read(accounts[dst], pc="bank.dst")
+                    yield env.write(accounts[dst], other + amount,
+                                    pc="bank.credit")
+
+                yield from env.critical(lock, body, pc="bank.xfer")
+                yield env.compute(env.fair_delay())
+
+        return thread
+
+    def auditor(env):
+        yield env.compute(2000)  # let some transfers happen first
+        for _ in range(6):
+            def audit(env):
+                total = 0
+                for account in accounts:
+                    total += yield env.read(account, pc="bank.audit")
+                audits.append(total)
+
+            yield from env.critical(lock, audit, pc="bank.audit")
+            yield env.compute(1000)
+
+    def validate(store) -> None:
+        total = sum(store.read(a) for a in accounts)
+        expected = NUM_ACCOUNTS * INITIAL_BALANCE
+        assert total == expected, f"money not conserved: {total}"
+        for snapshot in audits:
+            assert snapshot in (0, expected), (
+                f"auditor saw a torn snapshot: {snapshot}")
+
+    threads = [teller(t) for t in range(NUM_TELLERS)] + [auditor]
+    return Workload(name="bank", threads=threads, validate=validate,
+                    lock_addrs={lock}, meta={"space": space})
+
+
+def main() -> None:
+    for scheme in (SyncScheme.BASE, SyncScheme.TLR):
+        result = run(build_bank(),
+                     SystemConfig(num_cpus=NUM_TELLERS + 1, scheme=scheme))
+        summary = result.stats.summary()
+        print(f"{scheme.value}: {result.cycles} cycles, "
+              f"{summary['elisions_committed']} lock-free commits, "
+              f"{summary['restarts']} restarts "
+              f"-- money conserved, audits consistent")
+    print("\nThe auditor's every snapshot summed to the exact total:")
+    print("transactions were failure-atomic and serializable under TLR.")
+
+
+if __name__ == "__main__":
+    main()

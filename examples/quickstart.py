@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: run one lock-based program under all four hardware schemes.
+
+Builds the paper's single-counter microbenchmark (one lock, one shared
+counter, every processor incrementing it) and executes the *same
+program* on four simulated machines:
+
+* BASE          -- test&test&set spinlock, no speculation;
+* BASE+SLE      -- speculative lock elision, falls back on conflicts;
+* BASE+SLE+TLR  -- transactional lock removal (this paper);
+* MCS           -- software queue locks.
+
+Run:  python examples/quickstart.py [num_cpus] [increments]
+"""
+
+import sys
+
+from repro import SyncScheme, SystemConfig, run
+from repro.workloads import single_counter
+
+
+def main() -> None:
+    num_cpus = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    increments = int(sys.argv[2]) if len(sys.argv) > 2 else 1024
+
+    print(f"single-counter: {increments} increments over {num_cpus} CPUs\n")
+    header = (f"{'scheme':<26}{'cycles':>10}{'vs BASE':>9}"
+              f"{'restarts':>10}{'deferred':>10}{'elided':>8}")
+    print(header)
+    print("-" * len(header))
+
+    baseline = None
+    for scheme in (SyncScheme.BASE, SyncScheme.SLE, SyncScheme.TLR,
+                   SyncScheme.MCS):
+        config = SystemConfig(num_cpus=num_cpus, scheme=scheme)
+        result = run(single_counter(num_cpus, increments), config)
+        if baseline is None:
+            baseline = result.cycles
+        summary = result.stats.summary()
+        print(f"{scheme.value:<26}{result.cycles:>10}"
+              f"{baseline / result.cycles:>9.2f}"
+              f"{summary['restarts']:>10}"
+              f"{summary['requests_deferred']:>10}"
+              f"{summary['elisions_committed']:>8}")
+
+    print("\nEvery run passed functional validation: the counter equals")
+    print("the number of increments, i.e. the execution was serializable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro -- a reproduction of "Transactional Lock-Free Execution of
+Lock-Based Programs" (Rajwar & Goodman, ASPLOS 2002).
+
+The package simulates a snooping cache-coherent multiprocessor in enough
+detail to reproduce the paper's evaluation: Speculative Lock Elision,
+Transactional Lock Removal (timestamp-ordered deferral of conflicting
+coherence requests), test&test&set and MCS locks, and the paper's
+microbenchmarks and application-style workloads.
+
+Typical use::
+
+    from repro import SystemConfig, SyncScheme, run
+    from repro.workloads import single_counter
+
+    result = run(single_counter(num_threads=8),
+                 SystemConfig(num_cpus=8, scheme=SyncScheme.TLR))
+    print(result.cycles, result.stats.summary())
+"""
+
+from repro.harness.config import SyncScheme, SystemConfig
+from repro.harness.machine import Machine
+from repro.harness.runner import RunResult, compare_schemes, run, run_scheme
+from repro.runtime.env import ThreadEnv
+from repro.runtime.program import ValidationError, Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig", "SyncScheme", "Machine", "RunResult",
+    "run", "run_scheme", "compare_schemes",
+    "ThreadEnv", "Workload", "ValidationError",
+    "__version__",
+]

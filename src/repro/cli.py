@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Regenerates any of the paper's figures/tables from a terminal without
+writing code, and runs individual workloads under chosen schemes::
+
+    python -m repro figure9 --procs 2,4,8,16
+    python -m repro figure11 --cpus 16
+    python -m repro run single-counter --scheme TLR --cpus 8 --ops 2048
+    python -m repro coarse-vs-fine
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional
+
+from repro.harness import experiments, report
+from repro.harness.config import SyncScheme, SystemConfig
+from repro.harness.runner import run as run_workload
+from repro.workloads.apps import ALL_APPS, mp3d
+from repro.workloads.microbench import (linked_list, multiple_counter,
+                                        single_counter)
+
+WORKLOADS: dict[str, Callable] = {
+    "multiple-counter": multiple_counter,
+    "single-counter": single_counter,
+    "linked-list": linked_list,
+    **ALL_APPS,
+    "mp3d-coarse": lambda n, scale=None: (
+        mp3d(n, scale, coarse=True) if scale else mp3d(n, coarse=True)),
+}
+
+SCHEME_ALIASES = {
+    "BASE": SyncScheme.BASE,
+    "SLE": SyncScheme.SLE,
+    "TLR": SyncScheme.TLR,
+    "TLR-STRICT-TS": SyncScheme.TLR_STRICT_TS,
+    "MCS": SyncScheme.MCS,
+}
+
+
+def _parse_procs(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in text.split(","))
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TLR (Rajwar & Goodman, ASPLOS 2002) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def sweep_cmd(name: str, help_text: str):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--procs", type=_parse_procs,
+                         default=(2, 4, 8, 16),
+                         help="comma-separated processor counts")
+        cmd.add_argument("--ops", type=int, default=None,
+                         help="total operations (scaled default)")
+        cmd.add_argument("--seed", type=int, default=0)
+        cmd.add_argument("--plot", action="store_true",
+                         help="also draw an ascii plot")
+        return cmd
+
+    sweep_cmd("figure8", "multiple-counter sweep (coarse/no-conflicts)")
+    sweep_cmd("figure9", "single-counter sweep (fine/high-conflict)")
+    sweep_cmd("figure10", "linked-list sweep (dynamic conflicts)")
+
+    fig7 = sub.add_parser("figure7", help="queue-on-data intuition")
+    fig7.add_argument("--cpus", type=int, default=4)
+    fig7.add_argument("--ops", type=int, default=256)
+
+    fig11 = sub.add_parser("figure11", help="application suite")
+    fig11.add_argument("--cpus", type=int, default=16)
+    fig11.add_argument("--apps", type=str, default=None,
+                       help="comma-separated subset of app names")
+
+    sub.add_parser("coarse-vs-fine", help="mp3d lock granularity")
+    sub.add_parser("rmw-predictor", help="BASE vs BASE-no-opt")
+
+    runner = sub.add_parser("run", help="run one workload")
+    runner.add_argument("workload", choices=sorted(WORKLOADS))
+    runner.add_argument("--scheme", type=str, default="TLR",
+                        help="|".join(SCHEME_ALIASES))
+    runner.add_argument("--cpus", type=int, default=8)
+    runner.add_argument("--ops", type=int, default=None,
+                        help="workload size: total operations for the "
+                             "microbenchmarks, iterations per thread for "
+                             "the application kernels")
+    runner.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list", help="list workloads and schemes")
+    return parser
+
+
+def _config(seed: int = 0) -> SystemConfig:
+    return SystemConfig(seed=seed)
+
+
+def _do_sweep(args, name: str) -> int:
+    kwargs = {"processor_counts": args.procs,
+              "config": _config(args.seed)}
+    if name == "figure8":
+        if args.ops:
+            kwargs["total_increments"] = args.ops
+        result = experiments.figure8_multiple_counter(**kwargs)
+    elif name == "figure9":
+        if args.ops:
+            kwargs["total_increments"] = args.ops
+        result = experiments.figure9_single_counter(**kwargs)
+    else:
+        if args.ops:
+            kwargs["total_ops"] = args.ops
+        result = experiments.figure10_linked_list(**kwargs)
+    print(report.sweep_table(result))
+    if args.plot:
+        print()
+        print(report.ascii_series(result))
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("workloads:")
+        for name in sorted(WORKLOADS):
+            print(f"  {name}")
+        print("schemes:", " ".join(SCHEME_ALIASES))
+        return 0
+
+    if args.command in ("figure8", "figure9", "figure10"):
+        return _do_sweep(args, args.command)
+
+    if args.command == "figure7":
+        result = experiments.figure7_queue_on_data(
+            num_cpus=args.cpus, total_increments=args.ops)
+        print(report.dict_table(result, "figure 7: queue on data (TLR)"))
+        return 0
+
+    if args.command == "figure11":
+        apps = args.apps.split(",") if args.apps else None
+        results = experiments.figure11_applications(num_cpus=args.cpus,
+                                                    apps=apps)
+        print(report.figure11_table(results))
+        print(report.speedup_summary(results))
+        return 0
+
+    if args.command == "coarse-vs-fine":
+        print(report.dict_table(experiments.table_coarse_vs_fine(),
+                                "mp3d: coarse vs fine grain"))
+        return 0
+
+    if args.command == "rmw-predictor":
+        print(report.dict_table(experiments.table_rmw_predictor(),
+                                "BASE / BASE-no-opt"))
+        return 0
+
+    if args.command == "run":
+        scheme_name = args.scheme.upper().replace("_", "-")
+        if scheme_name not in SCHEME_ALIASES:
+            print(f"unknown scheme {args.scheme}; one of "
+                  f"{' '.join(SCHEME_ALIASES)}", file=sys.stderr)
+            return 2
+        scheme = SCHEME_ALIASES[scheme_name]
+        builder = WORKLOADS[args.workload]
+        workload = (builder(args.cpus, args.ops) if args.ops is not None
+                    else builder(args.cpus))
+        config = SystemConfig(num_cpus=args.cpus, scheme=scheme,
+                              seed=args.seed)
+        result = run_workload(workload, config)
+        print(f"{args.workload} under {scheme.value} on {args.cpus} CPUs:")
+        print(f"  cycles: {result.cycles}")
+        for key, value in result.stats.summary().items():
+            print(f"  {key}: {value}")
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,718 @@
+"""Per-processor coherence controller.
+
+This is where the paper's algorithm (Figure 3) actually runs: the
+controller snoops the ordered bus, tracks outstanding misses, and -- when
+its processor is executing an optimistic lock-free transaction -- performs
+the TLR concurrency control *alongside* the unmodified MOESI protocol:
+
+* incoming conflicting requests with a **later** timestamp are deferred
+  (buffered in the deferred input queue, ownership retained, a marker sent
+  to the requester);
+* incoming conflicting requests with an **earlier** timestamp make the
+  local transaction lose: deferred requests are serviced in order, the
+  conflicting request is serviced, and the processor restarts;
+* when a request cannot be answered with data immediately (the line's
+  previous owner is itself waiting), the obligation chains behind our own
+  miss, a **marker** teaches the requester its upstream neighbour, and
+  **probes** carry conflicting timestamps upstream to break cyclic waits
+  (Section 3.1.1, Figure 6);
+* Section 3.2's single-block relaxation: an earlier-timestamp request may
+  still be deferred when the transaction has exactly one block under
+  conflict and no other miss outstanding (deadlock is impossible), unless
+  configured strict (the TLR-strict-ts curve of Figure 9).
+
+Plain SLE (no TLR) uses the same controller with ``tlr_enabled`` false:
+conflicts simply trigger misspeculation and the request is serviced.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.coherence.cache import CacheArray, CapacityError
+from repro.coherence.messages import (MEMORY, BusRequest, Marker, Probe,
+                                      ReqKind, Timestamp, beats)
+from repro.coherence.mshr import MshrFile
+from repro.coherence.states import Line, State
+from repro.tlr.deferral import ChainState, DeferredQueue
+from repro.harness.config import SystemConfig
+from repro.sim.kernel import Simulator
+from repro.sim.stats import CpuStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.coherence.bus import Bus
+    from repro.coherence.datanet import DataNetwork
+
+
+class Decision(enum.Enum):
+    """Outcome of conflict resolution for one incoming request."""
+
+    SERVE = "serve"
+    DEFER = "defer"
+    LOSE = "lose"
+
+
+# How often a waiter re-champions its timestamp upstream (cycles).
+PROBE_WATCHDOG_PERIOD = 300
+
+
+class CacheController:
+    """One processor's L1 cache + coherence controller + TLR logic."""
+
+    def __init__(self, cpu_id: int, sim: Simulator, bus: "Bus",
+                 datanet: "DataNetwork", config: SystemConfig,
+                 stats: CpuStats):
+        self.cpu_id = cpu_id
+        self.sim = sim
+        self.bus = bus
+        self.datanet = datanet
+        self.config = config
+        self.stats = stats
+        self.cache = CacheArray(config.cache)
+        self.cache.on_eviction = self._evict_dirty
+        self.mshrs = MshrFile()
+        self.deferred = DeferredQueue(capacity=max(8, 4 * config.num_cpus))
+        self.chains: dict[int, ChainState] = {}
+        self.watchers: dict[int, list[Callable[[], None]]] = {}
+        self.evicting: dict[int, BusRequest] = {}
+        self.upgrade_violations: Counter = Counter()
+        # Speculation state (driven by the processor / SLE module).
+        self.speculating = False
+        self.tlr_enabled = config.scheme.is_tlr
+        self.current_ts: Optional[Timestamp] = None
+        # Callback into the processor, wired by the machine builder.
+        self.on_misspeculation: Callable[[str, int], None] = \
+            lambda reason, line: None
+        self.on_conflict_ts: Callable[[Optional[Timestamp]], None] = \
+            lambda ts: None
+        # LL/SC link register.
+        self._link: Optional[int] = None
+        bus.attach(self)
+
+    # ------------------------------------------------------------------
+    # Processor-facing interface
+    # ------------------------------------------------------------------
+    def access(self, line_addr: int, write: bool, on_effect: Callable[[], None],
+               want_exclusive: bool = False, is_lock: bool = False,
+               still_wanted: Optional[Callable[[], bool]] = None) -> bool:
+        """Request permission to perform an access.
+
+        Returns True on an L1 hit -- the caller performs its architectural
+        effect immediately (synchronously) and charges the hit latency
+        itself.  On a miss, returns False and ``on_effect`` is invoked
+        synchronously at the instant the fill (or upgrade grant) arrives,
+        which is the access's effect point.
+        """
+        need_writable = write or want_exclusive
+        # Single-block relaxation bookkeeping (Section 3.2): taking a new
+        # miss while holding a relaxation-deferred earlier-timestamp
+        # request would risk deadlock, so timestamp order is enforced
+        # *now*: lose, release, restart.
+        line = self.cache.lookup(line_addr)
+        hit = line is not None and line.state.valid and (
+            not need_writable or line.state.writable)
+        if (not hit and self.speculating
+                and self._must_release_before_miss(line_addr)):
+            self._handle_loss("relaxation-revoked", line_addr, None)
+            return False
+        if hit:
+            self.stats.l1_hits += 1
+            return True
+        self.stats.l1_misses += 1
+        pending = self.mshrs.get(line_addr)
+        if pending is not None:
+            # Merge: retry the access when the outstanding fill lands.
+            pending.waiters.append(
+                lambda: self._retry_access(line_addr, write, on_effect,
+                                           want_exclusive, is_lock,
+                                           still_wanted))
+            return False
+        kind = self._miss_kind(line, need_writable)
+        ts = self.current_ts if self.speculating else None
+        request = BusRequest(kind=kind, line=line_addr, requester=self.cpu_id,
+                             ts=ts, is_lock=is_lock)
+        if kind is ReqKind.UPG:
+            self.stats.upgrades += 1
+        mshr = self.mshrs.allocate(request, self.sim.now)
+        mshr.in_txn = self.speculating
+        mshr.waiters.append(on_effect)
+        self.chains[line_addr] = ChainState()
+        self.cache.pin(line_addr)
+        self.bus.issue(request)
+        if self.tlr_enabled:
+            # Watch every miss, not just transactional ones: a restarted
+            # transaction may merge onto a request issued outside the
+            # transaction, and its priority must still be championed.
+            self.sim.schedule(PROBE_WATCHDOG_PERIOD, self._probe_watchdog,
+                              line_addr, request.req_id,
+                              label=f"probe-wd {line_addr:#x}")
+        return False
+
+    def _probe_watchdog(self, line_addr: int, req_id: int) -> None:
+        """Re-champion our own timestamp upstream while a transactional
+        miss is outstanding.
+
+        A single probe can be lost -- it may reach the deferring holder
+        during the brief window of a restart, when its speculative state
+        is cleared -- and a lost probe means an unbroken cyclic wait.
+        Re-probing until the miss completes makes priority propagation
+        self-healing.
+        """
+        mshr = self.mshrs.get(line_addr)
+        if mshr is None or mshr.request.req_id != req_id:
+            return
+        if self.speculating and self.current_ts is not None:
+            chain = self.chains.get(line_addr)
+            if chain is not None and chain.upstream is not None:
+                self._send_probe(chain.upstream, line_addr, self.current_ts,
+                                 origin=self.cpu_id)
+        self.sim.schedule(PROBE_WATCHDOG_PERIOD, self._probe_watchdog,
+                          line_addr, req_id, label=f"probe-wd {line_addr:#x}")
+
+    def _retry_access(self, line_addr: int, write: bool,
+                      on_effect: Callable[[], None], want_exclusive: bool,
+                      is_lock: bool,
+                      still_wanted: Optional[Callable[[], bool]]) -> None:
+        if still_wanted is not None and not still_wanted():
+            return  # The access was squashed; don't issue a stale request.
+        if self.access(line_addr, write, on_effect,
+                       want_exclusive=want_exclusive, is_lock=is_lock,
+                       still_wanted=still_wanted):
+            on_effect()
+
+    def _miss_kind(self, line: Optional[Line], need_writable: bool) -> ReqKind:
+        if not need_writable:
+            return ReqKind.GETS
+        if line is not None and line.state in (State.SHARED, State.OWNED):
+            return ReqKind.UPG
+        return ReqKind.GETX
+
+    def has_writable(self, line_addr: int) -> bool:
+        line = self.cache.lookup(line_addr)
+        return line is not None and line.state.writable
+
+    def mark_accessed(self, line_addr: int, written: bool) -> None:
+        """Set the transaction access bits at an access's effect point."""
+        if not self.speculating:
+            return
+        line = self.cache.lookup(line_addr)
+        if line is None:
+            return
+        line.accessed = True
+        if written:
+            line.spec_written = True
+
+    def speculative_footprint(self) -> int:
+        return len(self.cache.speculative_lines())
+
+    # -- spin-wait support ---------------------------------------------
+    def watch(self, line_addr: int, callback: Callable[[], None]) -> None:
+        """One-shot wakeup when the line is invalidated or refilled."""
+        self.watchers.setdefault(line_addr, []).append(callback)
+
+    def _wake_watchers(self, line_addr: int) -> None:
+        for callback in self.watchers.pop(line_addr, []):
+            self.sim.schedule(0, callback, label=f"wake {line_addr:#x}")
+
+    # -- LL/SC link ----------------------------------------------------
+    def set_link(self, line_addr: int) -> None:
+        """Arm the link register -- unless the line is no longer valid
+        locally (its fill was invalidated in flight), in which case a
+        conflicting store was ordered between the LL and now and the
+        upcoming SC must fail."""
+        line = self.cache.lookup(line_addr)
+        if line is not None and line.state.valid:
+            self._link = line_addr
+        else:
+            self._link = None
+
+    def link_valid(self, line_addr: int) -> bool:
+        return self._link == line_addr
+
+    def _clear_link(self, line_addr: int) -> None:
+        if self._link == line_addr:
+            self._link = None
+
+    # -- speculation control -------------------------------------------
+    def enter_speculation(self, ts: Optional[Timestamp]) -> None:
+        """``start_defer``: the processor enters lock-free transaction
+        mode.  ``ts`` is the TLR timestamp, or None under plain SLE."""
+        self.speculating = True
+        self.current_ts = ts
+
+    def commit_speculation(self) -> None:
+        """``end_defer`` on success: clear access bits, service waiters.
+
+        The processor must have drained its write buffer into the value
+        store *before* calling this, so deferred requesters observe
+        post-commit values.
+        """
+        self._exit_speculation()
+
+    def abort_speculation(self) -> None:
+        """Processor-initiated abort (resource fallback, deschedule):
+        give up retained ownership, discard tracking state."""
+        if not self.speculating:
+            return
+        self._exit_speculation()
+
+    def _exit_speculation(self) -> None:
+        for line in self.cache.speculative_lines():
+            line.clear_speculative()
+        self.speculating = False
+        self.current_ts = None
+        self._service_deferred()
+
+    def _service_deferred(self) -> None:
+        for entry in self.deferred.drain():
+            self.sim.schedule(self.config.cache.hit_latency,
+                              self._service_obligation, entry.request,
+                              label=f"svc-deferred {entry.request!r}")
+
+    # ------------------------------------------------------------------
+    # Conflict resolution (the heart of TLR)
+    # ------------------------------------------------------------------
+    def _accessed_in_txn(self, line_addr: int) -> tuple[bool, bool]:
+        """(accessed, written) for conflict detection, counting both
+        installed lines and misses issued from within the transaction."""
+        line = self.cache.lookup(line_addr)
+        accessed = bool(line and line.accessed)
+        written = bool(line and line.spec_written)
+        mshr = self.mshrs.get(line_addr)
+        if mshr is not None and self.speculating and mshr.in_txn:
+            accessed = True
+            written = written or mshr.request.kind in (ReqKind.GETX,
+                                                       ReqKind.UPG)
+        return accessed, written
+
+    def _conflicts(self, request: BusRequest) -> bool:
+        if not self.speculating:
+            return False
+        accessed, written = self._accessed_in_txn(request.line)
+        if not accessed:
+            return False
+        if request.kind.is_write:
+            return True
+        return written
+
+    def _relaxation_ok(self, line_addr: int) -> bool:
+        if not self.config.spec.single_block_relaxation:
+            return False
+        if not self.deferred.lines() <= {line_addr}:
+            return False
+        outstanding = [m for m in self.mshrs
+                       if m.in_txn and m.line != line_addr]
+        return not outstanding
+
+    def _must_release_before_miss(self, new_line: int) -> bool:
+        """Two situations force a release before taking a new miss:
+
+        * the transaction still holds a relaxation-deferred request with
+          an *earlier* timestamp -- taking another miss could now
+          deadlock, so strict timestamp order is enforced (Section 3.2);
+        * the new miss targets a line we are ourselves deferring -- our
+          own request would queue behind the very chain we are stalling
+          (a self-wait cycle no probe can break, since the probe carries
+          our own timestamp back to us).
+        """
+        if new_line in self.deferred.lines():
+            return True
+        earliest = self.deferred.earliest_ts()
+        return earliest is not None and beats(earliest, self.current_ts)
+
+    def _decide(self, request: BusRequest) -> Decision:
+        if not self._conflicts(request):
+            return Decision.SERVE
+        self.on_conflict_ts(request.ts)
+        if not self.tlr_enabled:
+            # Plain SLE: a data conflict simply kills the speculation.
+            return Decision.LOSE
+        if request.ts is None:
+            if self.config.spec.untimestamped_policy == "abort":
+                # Conservative data-race reaction (Section 2.2's first
+                # approach): a conflicting access from outside any
+                # critical section kills the speculation.
+                return Decision.LOSE
+            # Default: treated as the latest timestamp in the system,
+            # ordered after this transaction (the second approach).
+            return Decision.DEFER
+        if beats(request.ts, self.current_ts):
+            if self._relaxation_ok(request.line):
+                return Decision.DEFER
+            return Decision.LOSE
+        return Decision.DEFER
+
+    # ------------------------------------------------------------------
+    # Bus-side handlers
+    # ------------------------------------------------------------------
+    # -- NACK-based retention (the alternative policy of Section 3) ----
+    def would_nack(self, request: BusRequest) -> bool:
+        """Snoop-time check under the NACK retention policy: refuse a
+        conflicting request we would win, forcing the requester to
+        retry.  Only data present in an exclusively-owned state can be
+        retained this way."""
+        if self.config.spec.retention_policy != "nack":
+            return False
+        if not self.tlr_enabled or not self.speculating:
+            return False
+        line = self.cache.lookup(request.line)
+        if line is None or line.state not in (State.MODIFIED,
+                                              State.EXCLUSIVE):
+            return False
+        if not self._conflicts(request):
+            return False
+        self.on_conflict_ts(request.ts)
+        if beats(request.ts, self.current_ts) \
+                and not self._relaxation_ok(request.line):
+            return False  # the incoming request wins; it must be served
+        self.stats.nacks_sent += 1
+        return True
+
+    def handle_nack(self, request: BusRequest) -> None:
+        """Our request was refused: back off and re-arbitrate."""
+        mshr = self.mshrs.get(request.line)
+        if mshr is None or mshr.request.req_id != request.req_id:
+            return
+        self.stats.nacks_received += 1
+        mshr.ordered = False
+        request.order_time = None
+        self.sim.schedule(self.config.spec.nack_retry_delay,
+                          self._reissue_after_nack, request,
+                          label=f"nack-retry {request!r}")
+
+    def _reissue_after_nack(self, request: BusRequest) -> None:
+        mshr = self.mshrs.get(request.line)
+        if mshr is None or mshr.request.req_id != request.req_id:
+            return
+        self.bus.issue(request)
+
+    def request_ordered(self, request: BusRequest, grant: State) -> None:
+        """Our own request reached the global order point."""
+        mshr = self.mshrs.get(request.line)
+        if mshr is not None:
+            mshr.ordered = True
+        request.grant_state = grant  # type: ignore[attr-defined]
+
+    def handle_forward(self, request: BusRequest) -> None:
+        """The bus forwarded a request to us: we were the line's
+        order-owner at the request's order point and must (eventually)
+        supply data."""
+        line_addr = request.line
+        mshr = self.mshrs.get(line_addr)
+        line = self.cache.lookup(line_addr)
+        have_data = line is not None and line.state.valid
+        if mshr is not None and (mshr.ordered or not have_data):
+            # The incoming request sits *behind* ours in coherence order
+            # (or we simply have no data): it chains behind our miss and
+            # is served only after our own fill is consumed.  Serving it
+            # early from a leftover shared copy would reorder it ahead of
+            # our exclusive request -- a lost update.
+            self._chain_behind_miss(mshr, request)
+            return
+        # Remaining pending case: an *unordered* upgrade with valid data.
+        # The incoming request was ordered first, so it must be served
+        # from the current data now (our upgrade converts to a GETX at
+        # its own order point).  Chaining it would deadlock the upgrade.
+        wb = self.evicting.pop(line_addr, None)
+        if wb is not None:
+            # Our writeback raced with this request and lost: cancel the
+            # writeback and supply the data ourselves.
+            self.bus.cancel(wb)
+        if not have_data:
+            raise RuntimeError(
+                f"cpu{self.cpu_id}: forwarded {request!r} for a line we "
+                "neither hold nor await -- protocol invariant broken")
+        self._resolve_obligation(request, line)
+
+    def _resolve_obligation(self, request: BusRequest, line: Line) -> None:
+        """Decide and act on an obligation we can satisfy with data."""
+        decision = self._decide(request)
+        if decision is Decision.DEFER and line.state not in (
+                State.MODIFIED, State.EXCLUSIVE):
+            # Only exclusively-owned blocks are retainable (paper,
+            # Figure 3 caption); a non-exclusive block's conflict cannot
+            # be masked, so the transaction loses.
+            decision = Decision.LOSE
+        if decision is Decision.SERVE:
+            self.sim.schedule(self.config.cache.hit_latency,
+                              self._service_obligation, request,
+                              label=f"svc {request!r}")
+        elif decision is Decision.DEFER:
+            self._defer(request)
+        else:
+            self._handle_loss("conflict-lost", request.line, request.ts)
+            self.sim.schedule(self.config.cache.hit_latency,
+                              self._service_obligation, request,
+                              label=f"svc {request!r}")
+
+    def _chain_behind_miss(self, mshr, request: BusRequest) -> None:
+        """A request arrived for a line whose fill we still await: record
+        the forward obligation, teach the requester its upstream neighbour
+        (marker), and champion its timestamp upstream (probe)."""
+        if any(s.kind.is_write for s in mshr.successors):
+            raise RuntimeError(
+                f"cpu{self.cpu_id}: forward after a GETX successor for "
+                f"line {request.line:#x} -- bus order should prevent this")
+        mshr.successors.append(request)
+        self._send_marker(request)
+        if request.ts is not None:
+            self._propagate_probe(request.line, request.ts,
+                                  origin=request.requester)
+            if (self._conflicts(request)
+                    and beats(request.ts, self.current_ts)
+                    and not self._relaxation_ok(request.line)):
+                # We already know we lose this line: restart now and pass
+                # the data through when it arrives.
+                mshr.pass_through = True
+                self._handle_loss("conflict-lost-pending", request.line,
+                                  request.ts)
+        elif self._conflicts(request) and not self.tlr_enabled:
+            mshr.pass_through = True
+            self._handle_loss("data-conflict-pending", request.line,
+                              request.ts)
+
+    def _defer(self, request: BusRequest) -> None:
+        self.deferred.push(request, self.sim.now)
+        self.cache.pin(request.line)
+        self.stats.requests_deferred += 1
+        self._send_marker(request)
+
+    def _send_marker(self, request: BusRequest) -> None:
+        marker = Marker(line=request.line, sender=self.cpu_id,
+                        req_id=request.req_id)
+        target = self.bus.controllers.get(request.requester)
+        if target is not None:
+            self.stats.markers_sent += 1
+            self.datanet.send_control(target.handle_marker, marker,
+                                      label=f"marker {request.line:#x}")
+
+    def _propagate_probe(self, line_addr: int, ts: Timestamp,
+                         origin: int) -> None:
+        chain = self.chains.get(line_addr)
+        if chain is None:
+            return
+        if chain.queue_probe(ts):
+            self._send_probe(chain.upstream, line_addr, ts, origin)
+
+    def _send_probe(self, target_id: int, line_addr: int, ts: Timestamp,
+                    origin: int) -> None:
+        target = self.bus.controllers.get(target_id)
+        if target is None:
+            return
+        self.stats.probes_sent += 1
+        probe = Probe(line=line_addr, ts=ts, origin=origin)
+        self.datanet.send_control(target.handle_probe, probe,
+                                  label=f"probe {line_addr:#x}")
+
+    def handle_marker(self, marker: Marker) -> None:
+        chain = self.chains.get(marker.line)
+        if chain is None:
+            return  # The miss already completed; the chain is gone.
+        for ts in chain.learn_upstream(marker.sender):
+            self._send_probe(marker.sender, marker.line, ts, origin=-1)
+
+    def handle_probe(self, probe: Probe) -> None:
+        mshr = self.mshrs.get(probe.line)
+        if mshr is not None:
+            # Mid-chain: forward the conflict upstream; if it also beats
+            # our own transaction, concede this line now.
+            self._propagate_probe(probe.line, probe.ts, probe.origin)
+            if (self._conflicts_with_ts(probe.line, probe.ts)
+                    and not self._relaxation_ok(probe.line)):
+                mshr.pass_through = True
+                self._handle_loss("probe-lost-pending", probe.line, probe.ts)
+            return
+        if self._conflicts_with_ts(probe.line, probe.ts):
+            self.stats.probe_losses += 1
+            self._handle_loss("probe-lost", probe.line, probe.ts)
+
+    def _conflicts_with_ts(self, line_addr: int,
+                           ts: Optional[Timestamp]) -> bool:
+        if not self.speculating or not self.tlr_enabled:
+            return False
+        accessed, _ = self._accessed_in_txn(line_addr)
+        if not accessed and line_addr not in self.deferred.lines():
+            # A line we defer requests for is retained for the
+            # transaction even if its access bit was swept by an
+            # intervening restart.
+            return False
+        self.on_conflict_ts(ts)
+        return beats(ts, self.current_ts)
+
+    def handle_invalidation(self, request: BusRequest) -> None:
+        """We hold a shared copy being invalidated.  Invalidations cannot
+        be deferred (Section 3.1.2): speculating sharers misspeculate."""
+        line = self.cache.lookup(request.line)
+        self._clear_link(request.line)
+        if line is not None and line.state.valid:
+            was_accessed = line.accessed
+            line.state = State.INVALID
+            line.clear_speculative()
+            if self.speculating and was_accessed:
+                self.upgrade_violations[request.line] += 1
+                self.on_conflict_ts(request.ts)
+                self._handle_loss("invalidated", request.line, request.ts)
+        else:
+            mshr = self.mshrs.get(request.line)
+            if mshr is not None and mshr.request.kind is ReqKind.GETS:
+                mshr.fill_invalid = True
+                if self.speculating and mshr.in_txn:
+                    # The write was ordered between our transactional read
+                    # and its fill: the read's value is dead on arrival,
+                    # and invalidations cannot be deferred -- restart.
+                    self.upgrade_violations[request.line] += 1
+                    self.on_conflict_ts(request.ts)
+                    self._handle_loss("invalidated-in-flight", request.line,
+                                      request.ts)
+        self._wake_watchers(request.line)
+
+    def upgrade_granted(self, request: BusRequest) -> None:
+        """Our UPG completed at its order point (no data needed)."""
+        mshr = self.mshrs.release(request.line)
+        self.chains.pop(request.line, None)
+        line = self.cache.lookup(request.line)
+        if line is not None:
+            line.state = State.MODIFIED
+        self._finish_request(request, list(mshr.waiters),
+                             list(mshr.successors),
+                             pass_through=mshr.pass_through)
+
+    def writeback_ordered(self, request: BusRequest) -> None:
+        self.evicting.pop(request.line, None)
+        self.bus.complete(request)
+
+    def handle_data(self, request: BusRequest) -> None:
+        """The fill for our outstanding request arrived."""
+        mshr = self.mshrs.get(request.line)
+        if mshr is None or mshr.request.req_id != request.req_id:
+            return  # Stale delivery (request superseded); ignore.
+        self.mshrs.release(request.line)
+        self.chains.pop(request.line, None)
+        grant = getattr(request, "grant_state", State.SHARED)
+        if request.kind is ReqKind.GETX:
+            grant = State.MODIFIED
+        try:
+            line = self.cache.install(request.line, grant)
+        except CapacityError:
+            self._resource_overflow(request.line)
+            line = self.cache.install(request.line, grant)
+        if mshr.fill_invalid:
+            line.state = State.INVALID
+        elif (self.speculating and mshr.in_txn
+                and (request.ts is None or request.ts == self.current_ts)):
+            # A transactional fill is part of the access set the moment it
+            # arrives (the paper sets access bits at fetch): chained
+            # successors must see the conflict even before the (possibly
+            # restarted) program re-touches the line.
+            line.accessed = True
+            if request.kind is ReqKind.GETX:
+                line.spec_written = True
+        self._wake_watchers(request.line)
+        self._finish_request(request, list(mshr.waiters),
+                             list(mshr.successors),
+                             pass_through=mshr.pass_through)
+
+    def _finish_request(self, request: BusRequest,
+                        waiters: list[Callable[[], None]],
+                        successors: list[BusRequest],
+                        pass_through: bool) -> None:
+        self.cache.unpin(request.line)
+        self.bus.complete(request)
+        if pass_through and successors:
+            # We lost while the miss was in flight: hand the data straight
+            # on *before* letting any local access at it.  The original
+            # transaction's waiters are epoch-dead; a restarted attempt
+            # may have merged a retry onto this MSHR, and it must observe
+            # the line as gone (and re-request behind the new owner)
+            # rather than peek at data that now belongs downstream.
+            for successor in successors:
+                self._service_obligation(successor)
+            for waiter in waiters:
+                waiter()
+            return
+        for waiter in waiters:
+            waiter()
+        for successor in successors:
+            line = self.cache.lookup(request.line)
+            if line is None or not line.state.valid:
+                # Forced-invalid fill or an earlier obligation in this
+                # batch already surrendered the line: pass data on.
+                self.bus.deliver_data(successor, self.cpu_id)
+                continue
+            self._resolve_obligation(successor, line)
+
+    # ------------------------------------------------------------------
+    # Obligation service, loss handling, eviction
+    # ------------------------------------------------------------------
+    def _service_obligation(self, request: BusRequest) -> None:
+        """Supply data for ``request`` and adjust our local state."""
+        line = self.cache.lookup(request.line)
+        # The serve decision may have been made an event earlier, before
+        # a restarted transaction re-touched the line.  Losing a line the
+        # live transaction has accessed is a conflict loss and must
+        # restart it, or two transactions would consume the same value.
+        lose_after = (line is not None and line.state.valid
+                      and self.speculating
+                      and line.accessed
+                      and (request.kind.is_write or line.spec_written))
+        if line is not None and line.state.valid:
+            if request.kind is ReqKind.GETX:
+                line.state = State.INVALID
+                line.clear_speculative()
+                self._clear_link(request.line)
+                self._wake_watchers(request.line)
+            else:
+                line.state = State.OWNED
+        if self.mshrs.get(request.line) is None \
+                and request.line not in self.deferred.lines():
+            # Keep the line pinned while further deferred entries for it
+            # remain queued, so an eviction cannot race their service.
+            self.cache.unpin(request.line)
+        self.bus.deliver_data(request, self.cpu_id)
+        if lose_after:
+            self.on_conflict_ts(request.ts)
+            self._handle_loss("conflict-at-service", request.line,
+                              request.ts)
+
+    def _handle_loss(self, reason: str, line_addr: int,
+                     incoming_ts: Optional[Timestamp]) -> None:
+        """We lost a conflict: give up retained ownership (service the
+        deferred queue in order), clear speculative state, restart."""
+        if not self.speculating:
+            return
+        for spec_line in self.cache.speculative_lines():
+            spec_line.clear_speculative()
+        self.speculating = False
+        self.current_ts = None
+        self._service_deferred()
+        self.stats.misspeculations += 1
+        self.on_misspeculation(reason, line_addr)
+
+    def _resource_overflow(self, line_addr: int) -> None:
+        """A fill found no victim: drop speculation (resource fallback)."""
+        if self.speculating:
+            self.stats.resource_fallbacks += 1
+            self.abort_speculation()
+            self.on_misspeculation("capacity", line_addr)
+        else:
+            raise RuntimeError(
+                f"cpu{self.cpu_id}: cache set unexpectedly unevictable for "
+                f"line {line_addr:#x}")
+
+    def _evict_dirty(self, line: Line) -> None:
+        """A dirty line left the cache hierarchy: write it back."""
+        if not line.state.dirty and line.state is not State.EXCLUSIVE:
+            return
+        request = BusRequest(kind=ReqKind.WB, line=line.addr,
+                             requester=self.cpu_id)
+        self.evicting[line.addr] = request
+        self.stats.writebacks += 1
+        self.bus.issue(request)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "TLR" if self.tlr_enabled else "SLE"
+        spec = f" spec ts={self.current_ts}" if self.speculating else ""
+        return (f"<CacheController cpu{self.cpu_id} {mode}{spec} "
+                f"mshrs={len(self.mshrs)} deferred={len(self.deferred)}>")

@@ -1,0 +1,108 @@
+"""Coherence messages.
+
+Address-bus requests (GETS/GETX/UPG/WB) are broadcast and *ordered*; data
+responses travel point-to-point; markers and probes are the TLR-specific
+directed messages of Section 3.1.1 -- they carry priority information along
+a coherence chain and have no coherence state interactions.
+
+A ``Timestamp`` is the pair (local logical clock, processor id) from
+Section 2.1.2; tuple comparison gives exactly the paper's priority order
+(earlier clock wins, processor id breaks ties).  ``None`` marks an
+*untimestamped* request -- one issued outside any transaction -- which is
+treated as having the latest timestamp in the system (lowest priority) so
+it can be deferred and ordered after the current critical section.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+Timestamp = tuple[int, int]  # (logical clock, cpu id); smaller = older = wins
+
+MEMORY = -1  # pseudo "node id" for the memory-side controller
+
+
+def beats(challenger: Optional[Timestamp], incumbent: Optional[Timestamp]) -> bool:
+    """True when ``challenger`` has priority over ``incumbent``.
+
+    Untimestamped (None) requests lose to any timestamped request and, for
+    determinism, a None challenger never beats anyone.
+    """
+    if challenger is None:
+        return False
+    if incumbent is None:
+        return True
+    return challenger < incumbent
+
+
+class ReqKind(enum.Enum):
+    """Address-bus transaction kinds."""
+
+    GETS = "GETS"    # read, shared copy
+    GETX = "GETX"    # read-exclusive, writable copy
+    UPG = "UPG"      # upgrade S -> M, no data needed
+    WB = "WB"        # writeback of a dirty evicted line
+
+    @property
+    def is_write(self) -> bool:
+        return self in (ReqKind.GETX, ReqKind.UPG)
+
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class BusRequest:
+    """One address-bus transaction.
+
+    ``ts`` is the issuing transaction's timestamp (None outside TLR mode).
+    ``is_lock`` tags requests to lock variables for the Figure 11 stall
+    breakdown.  ``order_time`` is stamped by the bus when the request
+    reaches its global order point.
+    """
+
+    kind: ReqKind
+    line: int
+    requester: int
+    ts: Optional[Timestamp] = None
+    is_lock: bool = False
+    req_id: int = field(default_factory=lambda: next(_request_ids))
+    order_time: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ts = f" ts={self.ts}" if self.ts is not None else ""
+        return (f"<{self.kind.value} line={self.line:#x} cpu={self.requester}"
+                f"{ts} #{self.req_id}>")
+
+
+@dataclass
+class Marker:
+    """Directed owner -> requester message (Section 3.1.1).
+
+    Sent when a request's data is not provided immediately -- either
+    because the owner is deferring it or because the owner is itself
+    waiting for data.  Tells the requester who its upstream neighbour in
+    the coherence chain is, enabling probes.
+    """
+
+    line: int
+    sender: int       # the upstream node
+    req_id: int       # the request being answered with a marker
+
+
+@dataclass
+class Probe:
+    """Directed requester -> upstream message carrying a conflicting
+    timestamp toward the node that actually holds the data.
+
+    Forwarded hop-by-hop along marker-established chain edges until it
+    reaches a node that can resolve the conflict (win: keep deferring;
+    lose: restart and release ownership).
+    """
+
+    line: int
+    ts: Timestamp
+    origin: int       # processor whose request the probe champions

@@ -1,0 +1,82 @@
+"""Miss-status handling registers.
+
+One MSHR tracks one outstanding address transaction.  Besides the request
+itself it records:
+
+* the processor callbacks waiting on the fill (the core blocks on at most
+  a couple of these at a time, but the structure is general);
+* the *successor*: a later requester to whom the line's ownership was
+  transferred at the bus order point while our data was still in flight --
+  the forward obligation that builds the coherence chain of the paper's
+  Figures 6 and 7;
+* the *upstream* neighbour learned from a marker message, used to route
+  probes toward the data holder;
+* a ``pass_through`` flag set when this processor lost a TLR conflict
+  while the miss was in flight: the arriving data is forwarded onward
+  without being consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.coherence.messages import BusRequest, Timestamp
+
+
+@dataclass
+class Mshr:
+    """One outstanding miss."""
+
+    request: BusRequest
+    waiters: list[Callable[[], None]] = field(default_factory=list)
+    # Forward obligations chained behind this miss, in bus order.  Any
+    # number of GETS may chain (ownership does not move on a read), but
+    # a GETX moves ownership to its requester, so it is always last.
+    successors: list[BusRequest] = field(default_factory=list)
+    upstream: Optional[int] = None
+    pass_through: bool = False
+    ordered: bool = False
+    in_txn: bool = False   # issued from within a speculative transaction
+    fill_invalid: bool = False  # an invalidation ordered after our GETS
+    # Probe timestamps seen before the marker arrived; flushed upstream
+    # as soon as the upstream neighbour becomes known.
+    pending_probe_ts: list[Timestamp] = field(default_factory=list)
+    issue_time: int = 0
+
+    @property
+    def line(self) -> int:
+        return self.request.line
+
+
+class MshrFile:
+    """The per-controller MSHR file (one entry per line)."""
+
+    def __init__(self, entries: int = 16):
+        self.entries = entries
+        self._by_line: dict[int, Mshr] = {}
+
+    def get(self, line: int) -> Optional[Mshr]:
+        return self._by_line.get(line)
+
+    def allocate(self, request: BusRequest, issue_time: int) -> Mshr:
+        if request.line in self._by_line:
+            raise RuntimeError(
+                f"MSHR already allocated for line {request.line:#x}")
+        if len(self._by_line) >= self.entries:
+            raise RuntimeError("MSHR file full")
+        mshr = Mshr(request=request, issue_time=issue_time)
+        self._by_line[request.line] = mshr
+        return mshr
+
+    def release(self, line: int) -> Mshr:
+        return self._by_line.pop(line)
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+    def __iter__(self):
+        return iter(list(self._by_line.values()))
+
+    def lines(self) -> set[int]:
+        return set(self._by_line)

@@ -1,0 +1,66 @@
+"""MOESI line states and per-line cache metadata.
+
+The paper's target machine uses a Sun Gigaplane-like MOESI broadcast
+snooping protocol.  Each L1 line carries, in addition to its coherence
+state, the *access bit* SLE/TLR use to track data touched within the
+current transaction (one bit per block, paper Figure 5) and a
+speculatively-written bit distinguishing read-set from write-set lines.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class State(enum.Enum):
+    """MOESI coherence states."""
+
+    MODIFIED = "M"
+    OWNED = "O"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def valid(self) -> bool:
+        return self is not State.INVALID
+
+    @property
+    def owned(self) -> bool:
+        """True when this cache is the line's owner (must supply data)."""
+        return self in (State.MODIFIED, State.OWNED, State.EXCLUSIVE)
+
+    @property
+    def writable(self) -> bool:
+        """True when a store may complete without a bus transaction."""
+        return self in (State.MODIFIED, State.EXCLUSIVE)
+
+    @property
+    def dirty(self) -> bool:
+        """True when eviction requires a writeback."""
+        return self in (State.MODIFIED, State.OWNED)
+
+
+@dataclass
+class Line:
+    """One L1 (or victim-cache) line."""
+
+    addr: int                      # line-aligned address (line index)
+    state: State = State.INVALID
+    accessed: bool = False         # touched within the current transaction
+    spec_written: bool = False     # in the transaction's write set
+    last_use: int = 0              # for LRU replacement
+
+    def clear_speculative(self) -> None:
+        """Drop transaction-tracking bits (``end_defer`` behaviour)."""
+        self.accessed = False
+        self.spec_written = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bits = ""
+        if self.accessed:
+            bits += "a"
+        if self.spec_written:
+            bits += "w"
+        return f"<Line {self.addr:#x} {self.state.value}{(':' + bits) if bits else ''}>"

@@ -1,0 +1,17 @@
+"""Processor substrate: ISA ops, core model, buffers, predictors."""
+
+from repro.cpu.checkpoint import (ElisionRecord, RestartSignal,
+                                  SpeculationCheckpoint)
+from repro.cpu.isa import (AtomicCas, AtomicSwap, Compute, LoadLinked, Op,
+                           Read, StoreConditional, Watch, Write, line_of)
+from repro.cpu.predictor import RmwPredictor, StorePairPredictor
+from repro.cpu.processor import Processor
+from repro.cpu.writebuffer import WriteBuffer, WriteBufferOverflow
+
+__all__ = [
+    "Processor", "WriteBuffer", "WriteBufferOverflow",
+    "RmwPredictor", "StorePairPredictor",
+    "RestartSignal", "ElisionRecord", "SpeculationCheckpoint",
+    "Op", "Read", "Write", "Compute", "LoadLinked", "StoreConditional",
+    "AtomicSwap", "AtomicCas", "Watch", "line_of",
+]

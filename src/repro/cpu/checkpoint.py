@@ -1,0 +1,72 @@
+"""Speculation checkpoints and the elision stack.
+
+A real SLE/TLR core checkpoints its register state when it elides a lock
+and restores it on misspeculation.  In this model the register state is
+the thread coroutine's local frame, which the runtime restores by
+re-invoking the critical-section body; what remains to track in hardware
+is the *elision stack*: which lock addresses were elided, the free value
+each store pair must restore, and bookkeeping about the current attempt
+(needed for the SLE retry threshold and the TLR timestamp reuse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.coherence.messages import Timestamp
+
+
+class RestartSignal(Exception):
+    """Thrown into the thread coroutine on misspeculation.
+
+    ``depth`` identifies the critical-section nesting level that is the
+    speculation root; only that level's restart loop catches the signal,
+    so a misspeculation in a nested section restarts the whole
+    transaction, as the hardware would.
+    """
+
+    def __init__(self, depth: int, reason: str = ""):
+        super().__init__(f"restart to depth {depth}: {reason}")
+        self.depth = depth
+        self.reason = reason
+
+
+@dataclass
+class ElisionRecord:
+    """One elided lock (one silent store pair in flight)."""
+
+    lock_addr: int
+    free_value: int     # value the matching release store must write back
+    held_value: int     # value the elided acquire store would have written
+    pc: str
+    depth: int          # critical-section nesting depth at elision time
+
+
+@dataclass
+class SpeculationCheckpoint:
+    """State of the current speculative episode."""
+
+    start_time: int
+    ts: Optional[Timestamp]
+    root_depth: int
+    elisions: list[ElisionRecord] = field(default_factory=list)
+    attempts: int = 1
+
+    def push(self, record: ElisionRecord) -> None:
+        self.elisions.append(record)
+
+    def pop_matching(self, lock_addr: int, value: int) -> Optional[ElisionRecord]:
+        """Match a store against the innermost elision (store pairs nest)."""
+        if self.elisions and self.elisions[-1].lock_addr == lock_addr \
+                and self.elisions[-1].free_value == value:
+            return self.elisions.pop()
+        return None
+
+    @property
+    def committed(self) -> bool:
+        return not self.elisions
+
+    @property
+    def nest_level(self) -> int:
+        return len(self.elisions)

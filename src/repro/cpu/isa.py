@@ -1,0 +1,127 @@
+"""Architectural operations.
+
+Thread programs (the workloads) are Python generator coroutines that yield
+these operation records to their processor, which executes each with the
+timing and coherence behaviour of the modeled machine and sends the result
+back into the coroutine.  The vocabulary mirrors what the paper's target
+machine offers: plain loads/stores, load-linked/store-conditional (the
+synchronization primitive of Table 2), and the atomic swap/compare-and-swap
+that MCS locks are usually built from on real SPARC/MIPS systems.
+
+``pc`` is a stable label standing in for the instruction address; the
+PC-indexed predictors (read-modify-write collapsing, silent store-pair
+elision) key on it.  ``is_lock`` tags accesses to lock variables for the
+paper's Figure 11 lock/non-lock stall breakdown.
+
+Addresses are word addresses (8-byte words); ``line_of`` maps a word
+address to its 64-byte cache line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+WORD_BYTES = 8
+LINE_BYTES = 64
+WORDS_PER_LINE = LINE_BYTES // WORD_BYTES
+
+
+def line_of(addr: int) -> int:
+    """Cache-line index of a word address."""
+    return addr // WORDS_PER_LINE
+
+
+class Op:
+    """Base class for architectural operations (for isinstance checks)."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Read(Op):
+    """Load a word; the yield's result is the value."""
+
+    addr: int
+    pc: str = ""
+    is_lock: bool = False
+
+
+@dataclass
+class Write(Op):
+    """Store a word."""
+
+    addr: int
+    value: int
+    pc: str = ""
+    is_lock: bool = False
+
+
+@dataclass
+class Compute(Op):
+    """Busy the core for a number of cycles (ALU work, local control)."""
+
+    cycles: int
+
+
+@dataclass
+class LoadLinked(Op):
+    """LL: load a word and arm the link register on its line."""
+
+    addr: int
+    pc: str = ""
+    is_lock: bool = True
+
+
+@dataclass
+class StoreConditional(Op):
+    """SC: store iff the link is still armed; result is True on success.
+
+    An SC whose PC the silent store-pair predictor recognizes as a lock
+    acquire may be *elided* by SLE/TLR hardware: it reports success
+    without writing and the processor enters speculative lock-free
+    transaction mode.
+    """
+
+    addr: int
+    value: int
+    pc: str = ""
+    is_lock: bool = True
+
+
+@dataclass
+class AtomicSwap(Op):
+    """Atomic exchange; result is the old value."""
+
+    addr: int
+    value: int
+    pc: str = ""
+    is_lock: bool = False
+
+
+@dataclass
+class AtomicCas(Op):
+    """Atomic compare-and-swap; result is the old value (success iff it
+    equals ``expect``)."""
+
+    addr: int
+    expect: int
+    new: int
+    pc: str = ""
+    is_lock: bool = False
+
+
+@dataclass
+class Watch(Op):
+    """Block until the line holding ``addr`` is invalidated or refilled.
+
+    This is how spin-wait loops are modeled without polling: a
+    test&test&set spinner holds a shared copy and can only observe a
+    change after an invalidation, so waiting for the invalidation *is*
+    the spin.  Wait time is charged as lock stall.  When ``expect`` is
+    given, the watch completes immediately if the word's architectural
+    value already differs (closing the read-then-watch race).
+    """
+
+    addr: int
+    expect: int | None = None
+    is_lock: bool = True

@@ -1,0 +1,13 @@
+"""Experiment harness: configuration, machine building, runners."""
+
+from repro.harness.config import (BusConfig, CacheConfig, MemoryConfig,
+                                  SpeculationConfig, SyncScheme, SystemConfig)
+from repro.harness.machine import Machine
+from repro.harness.runner import (RunResult, compare_schemes, run, run_scheme)
+from repro.harness import analysis, experiments, report
+
+__all__ = [
+    "SystemConfig", "SyncScheme", "CacheConfig", "BusConfig", "MemoryConfig",
+    "SpeculationConfig", "Machine", "RunResult", "run", "run_scheme",
+    "compare_schemes", "experiments", "report", "analysis",
+]

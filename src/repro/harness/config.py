@@ -1,0 +1,188 @@
+"""System configuration.
+
+Defaults mirror the paper's Table 2 (simulated machine parameters) where the
+parameter is meaningful in our timing-approximate model, scaled where noted:
+
+* 1 GHz core, 1-cycle L1 data cache access, 64-byte lines;
+* 128-KByte 4-way L1 data cache (scaled down by default so workloads with
+  scaled iteration counts still exercise capacity effects -- the paper's
+  mp3d result depends on locks overflowing the L1);
+* Sun Gigaplane-like MOESI split-transaction broadcast: 20-cycle snoop
+  latency, 120 outstanding transactions, 20-cycle point-to-point pipelined
+  data network, 12-cycle L2, 70-cycle memory;
+* 64-entry write buffer (speculative buffering limit for SLE/TLR);
+* 128-entry PC-indexed read-modify-write predictor;
+* 64-entry silent store-pair predictor, elision (nesting) depth 8.
+
+``SyncScheme`` names the paper's four evaluated configurations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class SyncScheme(enum.Enum):
+    """The four configurations of the paper's Section 5."""
+
+    BASE = "BASE"                      # test&test&set, no speculation
+    SLE = "BASE+SLE"                   # lock elision, fall back on conflict
+    TLR = "BASE+SLE+TLR"               # this paper
+    TLR_STRICT_TS = "BASE+SLE+TLR-strict-ts"  # no single-block relaxation
+    MCS = "MCS"                        # software queue locks
+
+    @property
+    def speculates(self) -> bool:
+        return self in (SyncScheme.SLE, SyncScheme.TLR,
+                        SyncScheme.TLR_STRICT_TS)
+
+    @property
+    def is_tlr(self) -> bool:
+        return self in (SyncScheme.TLR, SyncScheme.TLR_STRICT_TS)
+
+
+@dataclass
+class CacheConfig:
+    """Geometry and timing of the per-processor L1 data cache."""
+
+    size_bytes: int = 32 * 1024     # paper: 128 KB; scaled (see module doc)
+    assoc: int = 4
+    line_bytes: int = 64
+    hit_latency: int = 1
+    victim_entries: int = 16        # paper Section 4's worked example
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.assoc)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.line_bytes * self.assoc):
+            raise ValueError("cache size must be a whole number of sets")
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+
+
+@dataclass
+class BusConfig:
+    """Ordered broadcast address bus (Gigaplane-like)."""
+
+    snoop_latency: int = 20         # request visible to all snoopers
+    occupancy: int = 2              # cycles of bus occupancy per transaction
+    max_outstanding: int = 120
+
+
+@dataclass
+class DirectoryConfig:
+    """Directory-based interconnect (the alternative protocol family the
+    paper's Section 3 allows).  Requests travel an unordered network to
+    the line's home directory; each home serializes its own requests."""
+
+    request_latency: int = 20       # network hop to the home node
+    processing_latency: int = 10    # directory lookup/update
+    home_occupancy: int = 2         # per-home throughput bound
+    num_homes: int = 16             # line-interleaved home nodes
+    max_outstanding: int = 1 << 30  # no global cap (no shared bus)
+    # Response/NACK delivery latency (named for Bus compatibility).
+    snoop_latency: int = 20
+
+
+@dataclass
+class MemoryConfig:
+    """Memory-side latencies (shared L2 + DRAM)."""
+
+    l2_latency: int = 12
+    dram_latency: int = 70
+    data_latency: int = 20          # point-to-point data network hop
+    # Shared-L2 tag capacity in lines (0 = unbounded; the paper's 4 MB
+    # L2 = 65536 lines comfortably exceeds scaled working sets).
+    l2_capacity_lines: int = 0
+    # Optional data-network bandwidth model: minimum cycles between
+    # message *deliveries* (0 = unlimited, the paper's pipelined network;
+    # >0 serializes deliveries at that rate, exposing data-network
+    # contention as a sensitivity knob).
+    data_bandwidth_interval: int = 0
+
+
+@dataclass
+class SpeculationConfig:
+    """SLE/TLR hardware parameters."""
+
+    write_buffer_entries: int = 64      # unique speculative lines
+    elision_depth: int = 8              # nested lock elisions trackable
+    store_pair_predictor_entries: int = 64
+    rmw_predictor_entries: int = 128
+    rmw_predictor_enabled: bool = True
+    # SLE without TLR retries speculation this many times before acquiring
+    # the lock (the SLE paper restarts once then falls back).
+    sle_restart_threshold: int = 1
+    # Section 3.1.2: after this many upgrade-induced violations on a line,
+    # fetch it exclusive up-front so external requests become deferrable.
+    read_escalation_threshold: int = 2
+    # Section 3.2: relax strict timestamp order when only a single block is
+    # under conflict (deadlock impossible).  Off for TLR-strict-ts.
+    single_block_relaxation: bool = True
+    # Ownership-retention policy (Section 3): "defer" buffers conflicting
+    # requests in the deferred input queue and answers them at commit
+    # (needs no protocol support -- the paper's choice); "nack" refuses
+    # the request with a negative acknowledgement at the snoop, forcing
+    # the requester to retry (needs NACK support in the protocol).
+    retention_policy: str = "defer"
+    # Cycles a NACKed requester waits before re-arbitrating for the bus.
+    nack_retry_delay: int = 50
+    # Misspeculation redirection penalty (pipeline flush + refetch), and
+    # the additional per-consecutive-restart backoff (capped at 15
+    # steps): losers wait out the winner instead of re-entering the
+    # chain mid-flight.
+    misspec_penalty: int = 10
+    restart_backoff_step: int = 20
+    # How to handle conflicting requests from outside any transaction
+    # (Section 2.2 describes both options): "defer" treats them as having
+    # the latest timestamp and orders them after the transaction;
+    # "abort" triggers a misspeculation (the conservative data-race
+    # reaction).
+    untimestamped_policy: str = "defer"
+
+    def __post_init__(self) -> None:
+        if self.retention_policy not in ("defer", "nack"):
+            raise ValueError(f"bad retention_policy {self.retention_policy}")
+        if self.untimestamped_policy not in ("defer", "abort"):
+            raise ValueError(
+                f"bad untimestamped_policy {self.untimestamped_policy}")
+
+
+@dataclass
+class SystemConfig:
+    """Everything needed to build a simulated machine."""
+
+    num_cpus: int = 16
+    scheme: SyncScheme = SyncScheme.TLR
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    bus: BusConfig = field(default_factory=BusConfig)
+    directory: DirectoryConfig = field(default_factory=DirectoryConfig)
+    # Coherence substrate: "snoop" (Gigaplane-like ordered broadcast,
+    # the paper's evaluation machine) or "directory" (unordered network
+    # with line-interleaved home directories).
+    protocol: str = "snoop"
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    spec: SpeculationConfig = field(default_factory=SpeculationConfig)
+    seed: int = 0
+    latency_jitter: int = 2
+    max_cycles: int | None = 500_000_000
+
+    def with_scheme(self, scheme: SyncScheme) -> "SystemConfig":
+        """A copy of this config under a different sync scheme."""
+        cfg = replace(self, scheme=scheme,
+                      spec=replace(self.spec))
+        if scheme is SyncScheme.TLR_STRICT_TS:
+            cfg.spec.single_block_relaxation = False
+        return cfg
+
+    def __post_init__(self) -> None:
+        if self.num_cpus < 1:
+            raise ValueError("need at least one processor")
+        if self.protocol not in ("snoop", "directory"):
+            raise ValueError(f"bad protocol {self.protocol}")
+        if (self.scheme is SyncScheme.TLR_STRICT_TS
+                and self.spec.single_block_relaxation):
+            self.spec = replace(self.spec, single_block_relaxation=False)

@@ -1,0 +1,230 @@
+"""One entry point per paper figure/table (the per-experiment index of
+DESIGN.md).
+
+Each ``figure_*``/``table_*`` function runs the full parameter sweep the
+paper's plot covers and returns a structured result that
+:mod:`repro.harness.report` can print as the same rows/series the paper
+reports.  Workload sizes default to simulator scale (see EXPERIMENTS.md)
+but accept overrides so the benchmarks can run quick or thorough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.harness.config import SyncScheme, SystemConfig
+from repro.harness.runner import RunResult, run
+from repro.runtime.program import Workload
+from repro.workloads.apps import ALL_APPS, mp3d
+from repro.workloads.microbench import (linked_list, multiple_counter,
+                                        single_counter)
+
+MICRO_SCHEMES = (SyncScheme.BASE, SyncScheme.MCS, SyncScheme.SLE,
+                 SyncScheme.TLR)
+APP_SCHEMES = (SyncScheme.BASE, SyncScheme.SLE, SyncScheme.TLR,
+               SyncScheme.MCS)
+DEFAULT_PROCESSOR_COUNTS = (2, 4, 6, 8, 10, 12, 14, 16)
+
+
+@dataclass
+class SweepResult:
+    """One microbenchmark figure: cycles[scheme][processor_count]."""
+
+    name: str
+    processor_counts: list[int]
+    series: dict[SyncScheme, list[int]] = field(default_factory=dict)
+    extra: dict[str, dict] = field(default_factory=dict)
+
+    def cycles(self, scheme: SyncScheme, num_cpus: int) -> int:
+        return self.series[scheme][self.processor_counts.index(num_cpus)]
+
+
+@dataclass
+class AppResult:
+    """One application's Figure 11 bars plus MCS comparison."""
+
+    name: str
+    cycles: dict[SyncScheme, int]
+    lock_cycles: dict[SyncScheme, int]
+    restarts: dict[SyncScheme, int]
+    resource_fallbacks: dict[SyncScheme, int]
+    critical_sections: dict[SyncScheme, int]
+
+    def speedup(self, scheme: SyncScheme,
+                over: SyncScheme = SyncScheme.BASE) -> float:
+        return self.cycles[over] / self.cycles[scheme]
+
+    def normalized_parts(self, scheme: SyncScheme) -> tuple[float, float]:
+        """(lock, non-lock) contributions normalized to BASE cycles --
+        the two-part bars of Figure 11.  ``lock_cycles`` is the average
+        per-processor stall charged to lock-variable accesses (the
+        paper's commit-time attribution)."""
+        base = self.cycles[SyncScheme.BASE]
+        total = self.cycles[scheme] / base
+        lock_share = min(1.0, self.lock_cycles[scheme]
+                         / max(1, self.cycles[scheme]))
+        return total * lock_share, total * (1.0 - lock_share)
+
+
+def _sweep(name: str, builder: Callable[[int], Workload],
+           schemes: Sequence[SyncScheme],
+           processor_counts: Sequence[int],
+           base_config: Optional[SystemConfig] = None) -> SweepResult:
+    base = base_config or SystemConfig()
+    result = SweepResult(name=name, processor_counts=list(processor_counts))
+    for scheme in schemes:
+        series = []
+        for n in processor_counts:
+            cfg = base.with_scheme(scheme)
+            cfg.num_cpus = n
+            outcome = run(builder(n), cfg)
+            series.append(outcome.cycles)
+        result.series[scheme] = series
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figures 8-10: microbenchmarks vs processor count
+# ----------------------------------------------------------------------
+def figure8_multiple_counter(total_increments: int = 2048,
+                             processor_counts: Sequence[int] =
+                             DEFAULT_PROCESSOR_COUNTS,
+                             config: Optional[SystemConfig] = None
+                             ) -> SweepResult:
+    """Coarse-grain/no-conflicts (paper Figure 8)."""
+    return _sweep("figure8-multiple-counter",
+                  lambda n: multiple_counter(n, total_increments),
+                  MICRO_SCHEMES, processor_counts, config)
+
+
+def figure9_single_counter(total_increments: int = 1024,
+                           processor_counts: Sequence[int] =
+                           DEFAULT_PROCESSOR_COUNTS,
+                           config: Optional[SystemConfig] = None,
+                           include_strict_ts: bool = True) -> SweepResult:
+    """Fine-grain/high-conflict, including TLR-strict-ts (Figure 9)."""
+    schemes = list(MICRO_SCHEMES)
+    if include_strict_ts:
+        schemes.append(SyncScheme.TLR_STRICT_TS)
+    return _sweep("figure9-single-counter",
+                  lambda n: single_counter(n, total_increments),
+                  schemes, processor_counts, config)
+
+
+def figure10_linked_list(total_ops: int = 1024,
+                         processor_counts: Sequence[int] =
+                         DEFAULT_PROCESSOR_COUNTS,
+                         config: Optional[SystemConfig] = None
+                         ) -> SweepResult:
+    """Fine-grain/dynamic-conflicts doubly-linked list (Figure 10)."""
+    return _sweep("figure10-linked-list",
+                  lambda n: linked_list(n, total_ops),
+                  MICRO_SCHEMES, processor_counts, config)
+
+
+# ----------------------------------------------------------------------
+# Figure 7 intuition: queueing on data under pure conflict
+# ----------------------------------------------------------------------
+def figure7_queue_on_data(num_cpus: int = 4,
+                          total_increments: int = 256,
+                          config: Optional[SystemConfig] = None) -> dict:
+    """The Section 6.1 intuition: under TLR, processors conflicting on
+    one line order on the data itself -- no restarts, no lock requests.
+
+    Returns the TLR run's restart/deferral counts so the claim "no
+    transaction requires to restart" can be checked quantitatively.
+    """
+    base = config or SystemConfig()
+    cfg = base.with_scheme(SyncScheme.TLR)
+    cfg.num_cpus = num_cpus
+    outcome = run(single_counter(num_cpus, total_increments), cfg)
+    summary = outcome.stats.summary()
+    return {
+        "cycles": outcome.cycles,
+        "restarts": summary["restarts"],
+        "deferrals": summary["requests_deferred"],
+        "elisions_committed": summary["elisions_committed"],
+        "critical_sections": summary["critical_sections"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 11: applications at 16 processors
+# ----------------------------------------------------------------------
+def figure11_applications(num_cpus: int = 16,
+                          apps: Optional[Iterable[str]] = None,
+                          schemes: Sequence[SyncScheme] = APP_SCHEMES,
+                          config: Optional[SystemConfig] = None
+                          ) -> dict[str, AppResult]:
+    """Application performance, normalized to BASE, with the lock /
+    non-lock breakdown (Figure 11) and the in-text MCS comparison."""
+    base = config or SystemConfig()
+    names = list(apps) if apps is not None else list(ALL_APPS)
+    results: dict[str, AppResult] = {}
+    for name in names:
+        builder = ALL_APPS[name]
+        cycles, lock_cycles, restarts = {}, {}, {}
+        fallbacks, sections = {}, {}
+        for scheme in schemes:
+            cfg = base.with_scheme(scheme)
+            cfg.num_cpus = num_cpus
+            outcome = run(builder(num_cpus), cfg)
+            cycles[scheme] = outcome.cycles
+            # Average per-processor lock stall (the paper's commit-time
+            # attribution), to compare against parallel time.
+            lock_cycles[scheme] = (outcome.stats.lock_stall_cycles
+                                   // max(1, num_cpus))
+            restarts[scheme] = outcome.stats.restarts
+            fallbacks[scheme] = outcome.stats.total("resource_fallbacks")
+            sections[scheme] = outcome.stats.total("critical_sections")
+        results[name] = AppResult(name=name, cycles=cycles,
+                                  lock_cycles=lock_cycles,
+                                  restarts=restarts,
+                                  resource_fallbacks=fallbacks,
+                                  critical_sections=sections)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Section 6.3 in-text experiments
+# ----------------------------------------------------------------------
+def table_coarse_vs_fine(num_cpus: int = 16,
+                         config: Optional[SystemConfig] = None) -> dict:
+    """mp3d with one coarse lock vs per-cell locks (Section 6.3)."""
+    base = config or SystemConfig()
+    out: dict[str, int] = {}
+    for coarse in (False, True):
+        for scheme in (SyncScheme.BASE, SyncScheme.TLR, SyncScheme.MCS):
+            cfg = base.with_scheme(scheme)
+            cfg.num_cpus = num_cpus
+            outcome = run(mp3d(num_cpus, coarse=coarse), cfg)
+            grain = "coarse" if coarse else "fine"
+            out[f"{grain}/{scheme.value}"] = outcome.cycles
+    out["speedup_tlr_coarse_over_base_fine"] = (
+        out["fine/BASE"] / out["coarse/BASE+SLE+TLR"])
+    out["speedup_tlr_coarse_over_tlr_fine"] = (
+        out["fine/BASE+SLE+TLR"] / out["coarse/BASE+SLE+TLR"])
+    return out
+
+
+def table_rmw_predictor(num_cpus: int = 16,
+                        apps: Optional[Iterable[str]] = None,
+                        config: Optional[SystemConfig] = None
+                        ) -> dict[str, float]:
+    """BASE with vs without the read-modify-write predictor: the
+    speedup list at the end of Section 6.3 (BASE over BASE-no-opt)."""
+    base = config or SystemConfig()
+    names = list(apps) if apps is not None else list(ALL_APPS)
+    speedups: dict[str, float] = {}
+    for name in names:
+        builder = ALL_APPS[name]
+        cycles = {}
+        for enabled in (True, False):
+            cfg = base.with_scheme(SyncScheme.BASE)
+            cfg.num_cpus = num_cpus
+            cfg.spec.rmw_predictor_enabled = enabled
+            outcome = run(builder(num_cpus), cfg)
+            cycles[enabled] = outcome.cycles
+        speedups[name] = cycles[False] / cycles[True]
+    return speedups

@@ -1,0 +1,91 @@
+"""Text rendering of experiment results.
+
+The paper's figures are line plots (cycles vs processor count) and
+normalized stacked bars; these helpers print the same data as aligned
+text tables so a terminal run of the benchmark harness reproduces every
+row/series the paper reports.  ``ascii_series`` additionally draws a
+small terminal plot for the microbenchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.harness.config import SyncScheme
+from repro.harness.experiments import AppResult, SweepResult
+
+
+def sweep_table(result: SweepResult) -> str:
+    """Cycles-vs-processors table for one microbenchmark figure."""
+    schemes = list(result.series)
+    header = ["procs"] + [s.value for s in schemes]
+    rows = [[str(n)] + [str(result.series[s][i]) for s in schemes]
+            for i, n in enumerate(result.processor_counts)]
+    widths = [max(len(header[c]), *(len(r[c]) for r in rows)) + 2
+              for c in range(len(header))]
+    lines = ["".join(h.rjust(w) for h, w in zip(header, widths))]
+    lines += ["".join(c.rjust(w) for c, w in zip(row, widths))
+              for row in rows]
+    return "\n".join(lines)
+
+
+def ascii_series(result: SweepResult, height: int = 12,
+                 width: int = 64) -> str:
+    """A rough terminal plot of one sweep (cycles vs processor count)."""
+    schemes = list(result.series)
+    peak = max(max(series) for series in result.series.values())
+    grid = [[" "] * width for _ in range(height)]
+    marks = "ox+*#@"
+    xs = result.processor_counts
+    for si, scheme in enumerate(schemes):
+        for i, n in enumerate(xs):
+            x = int((n - xs[0]) / max(1, xs[-1] - xs[0]) * (width - 1))
+            y = int(result.series[scheme][i] / peak * (height - 1))
+            grid[height - 1 - y][x] = marks[si % len(marks)]
+    legend = "  ".join(f"{marks[i % len(marks)]}={s.value}"
+                       for i, s in enumerate(schemes))
+    body = "\n".join("|" + "".join(row) for row in grid)
+    axis = "+" + "-" * width
+    return (f"{result.name} (y: cycles, peak={peak})\n"
+            f"{body}\n{axis}\n procs {xs[0]}..{xs[-1]}\n {legend}")
+
+
+def figure11_table(results: Mapping[str, AppResult]) -> str:
+    """The Figure 11 bars as numbers: normalized execution time with the
+    lock / non-lock split, plus in-text speedups over BASE and MCS."""
+    lines = [
+        f"{'app':<12}{'scheme':<22}{'norm':>7}{'lock':>7}{'rest':>7}"
+        f"{'speedup/BASE':>14}{'restarts':>10}{'fallbacks':>11}"
+    ]
+    for name, app in results.items():
+        for scheme in app.cycles:
+            lock, nonlock = app.normalized_parts(scheme)
+            lines.append(
+                f"{name:<12}{scheme.value:<22}"
+                f"{lock + nonlock:>7.2f}{lock:>7.2f}{nonlock:>7.2f}"
+                f"{app.speedup(scheme):>14.2f}"
+                f"{app.restarts[scheme]:>10}"
+                f"{app.resource_fallbacks[scheme]:>11}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def speedup_summary(results: Mapping[str, AppResult]) -> str:
+    """TLR-vs-BASE and MCS-vs-BASE per app (the Section 6.3 numbers)."""
+    lines = [f"{'app':<12}{'TLR/BASE':>10}{'MCS/BASE':>10}{'TLR/MCS':>10}"]
+    for name, app in results.items():
+        tlr = app.speedup(SyncScheme.TLR)
+        mcs = (app.speedup(SyncScheme.MCS)
+               if SyncScheme.MCS in app.cycles else float("nan"))
+        lines.append(f"{name:<12}{tlr:>10.2f}{mcs:>10.2f}"
+                     f"{tlr / mcs if mcs == mcs else float('nan'):>10.2f}")
+    return "\n".join(lines)
+
+
+def dict_table(data: Mapping[str, float], title: str = "") -> str:
+    width = max(len(str(k)) for k in data) + 2
+    lines = [title] if title else []
+    for key, value in data.items():
+        rendered = f"{value:.2f}" if isinstance(value, float) else str(value)
+        lines.append(f"{str(key):<{width}}{rendered}")
+    return "\n".join(lines)

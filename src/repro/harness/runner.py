@@ -1,0 +1,68 @@
+"""Experiment runner: one-call execution of (workload, scheme) pairs.
+
+The paper's evaluation compares the same benchmark under BASE, BASE+SLE,
+BASE+SLE+TLR and MCS.  :func:`run` executes one combination and returns a
+:class:`RunResult`; :func:`compare_schemes` sweeps a set of schemes with a
+shared workload builder (fresh workload per run -- simulated memory is
+stateful) and returns results keyed by scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.coherence.memory import ValueStore
+from repro.harness.config import SyncScheme, SystemConfig
+from repro.harness.machine import Machine
+from repro.runtime.program import Workload
+from repro.sim.stats import SimStats
+
+WorkloadBuilder = Callable[[], Workload]
+
+
+@dataclass
+class RunResult:
+    """Everything one simulation produced."""
+
+    config: SystemConfig
+    workload_name: str
+    stats: SimStats
+    store: ValueStore
+
+    @property
+    def cycles(self) -> int:
+        """Parallel execution time (the paper's y-axis metric)."""
+        return self.stats.total_cycles
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """Paper convention: cycles(other) / cycles(self); >1 is faster."""
+        if self.cycles == 0:
+            return float("inf")
+        return other.cycles / self.cycles
+
+
+def run(workload: Workload, config: SystemConfig,
+        validate: bool = True) -> RunResult:
+    """Execute ``workload`` on a freshly built machine."""
+    machine = Machine(config)
+    stats = machine.run_workload(workload, validate=validate)
+    return RunResult(config=config, workload_name=workload.name,
+                     stats=stats, store=machine.store)
+
+
+def run_scheme(builder: WorkloadBuilder, scheme: SyncScheme,
+               config: Optional[SystemConfig] = None,
+               validate: bool = True) -> RunResult:
+    """Build a fresh workload and run it under ``scheme``."""
+    base = config or SystemConfig()
+    return run(builder(), base.with_scheme(scheme), validate=validate)
+
+
+def compare_schemes(builder: WorkloadBuilder,
+                    schemes: Iterable[SyncScheme],
+                    config: Optional[SystemConfig] = None,
+                    validate: bool = True) -> dict[SyncScheme, RunResult]:
+    """Run the same benchmark under several schemes."""
+    return {scheme: run_scheme(builder, scheme, config, validate)
+            for scheme in schemes}

@@ -1,0 +1,8 @@
+"""Thread-program runtime: the workload-facing API."""
+
+from repro.runtime.env import ThreadEnv
+from repro.runtime.program import (ThreadFactory, ValidationError, Validator,
+                                   Workload)
+
+__all__ = ["ThreadEnv", "Workload", "ThreadFactory", "Validator",
+           "ValidationError"]

@@ -1,0 +1,103 @@
+"""The workload-facing thread API.
+
+Workloads are written as generator coroutines against :class:`ThreadEnv`,
+in the style of an ordinary lock-based threaded program::
+
+    def worker(env):
+        for _ in range(n):
+            def body(env):
+                v = yield env.read(counter, pc="cnt.load")
+                yield env.compute(10)
+                yield env.write(counter, v + 1, pc="cnt.store")
+            yield from env.critical(lock, body, pc="cnt")
+            yield env.compute(env.fair_delay())
+
+The crucial piece is :meth:`ThreadEnv.critical`: the critical-section
+*body* is a re-invocable generator function.  Under BASE/MCS it runs once
+with the lock genuinely held.  Under SLE/TLR the hardware may elide the
+lock and run the body speculatively; on misspeculation the processor
+throws :class:`RestartSignal` into the coroutine and ``critical`` simply
+re-executes the body from scratch -- the software-visible equivalent of a
+register-checkpoint restore, giving failure atomicity for free.  The
+signal carries the nesting depth of the speculation root so a conflict in
+a nested section restarts the whole transaction.
+
+Everything the body reads or writes must live in simulated memory (word
+addresses via ``read``/``write``); Python locals are recomputed on
+restart, which is exactly what makes them safe.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Generator, Optional
+
+from repro.cpu import isa
+from repro.cpu.checkpoint import RestartSignal
+
+
+class ThreadEnv:
+    """Per-thread handle: operation constructors plus the CS protocol."""
+
+    def __init__(self, processor, lock_api, num_cpus: int,
+                 rng: random.Random):
+        self.processor = processor
+        self.lock_api = lock_api
+        self.num_cpus = num_cpus
+        self.rng = rng
+        self.cs_completed = 0
+
+    @property
+    def cpu_id(self) -> int:
+        return self.processor.cpu_id
+
+    # ------------------------------------------------------------------
+    # Plain operations (yield the returned op)
+    # ------------------------------------------------------------------
+    def read(self, addr: int, pc: str = "", lock: bool = False) -> isa.Read:
+        return isa.Read(addr=addr, pc=pc, is_lock=lock)
+
+    def write(self, addr: int, value: int, pc: str = "",
+              lock: bool = False) -> isa.Write:
+        return isa.Write(addr=addr, value=value, pc=pc, is_lock=lock)
+
+    def compute(self, cycles: int) -> isa.Compute:
+        return isa.Compute(cycles=max(0, cycles))
+
+    def fair_delay(self, lo: int = 20, hi: int = 200) -> int:
+        """The paper's post-release randomized delay: after releasing a
+        lock, wait a minimum random interval so another processor has an
+        opportunity to acquire it (fairness methodology, Section 5.1)."""
+        return self.rng.randint(lo, hi)
+
+    # ------------------------------------------------------------------
+    # Critical sections
+    # ------------------------------------------------------------------
+    def critical(self, lock_addr: int,
+                 body: Callable[["ThreadEnv"], Generator],
+                 pc: str = "cs") -> Generator:
+        """Run ``body`` under ``lock_addr`` with restart semantics."""
+        my_depth = self.processor.cs_depth
+        while True:
+            try:
+                yield from self.lock_api.acquire(self, lock_addr, pc)
+                self.processor.enter_cs()
+                result = yield from body(self)
+                yield from self.lock_api.release(self, lock_addr, pc)
+                self.processor.exit_cs()
+                self.cs_completed += 1
+                return result
+            except RestartSignal as signal:
+                if signal.depth != my_depth:
+                    raise
+                continue
+
+    def acquire(self, lock_addr: int, pc: str = "cs") -> Generator:
+        """Bare acquire (for irregular locking patterns; prefer
+        :meth:`critical`, which alone provides restart handling)."""
+        yield from self.lock_api.acquire(self, lock_addr, pc)
+        self.processor.enter_cs()
+
+    def release(self, lock_addr: int, pc: str = "cs") -> Generator:
+        yield from self.lock_api.release(self, lock_addr, pc)
+        self.processor.exit_cs()

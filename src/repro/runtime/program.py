@@ -1,0 +1,44 @@
+"""Workload packaging.
+
+A :class:`Workload` bundles everything the harness needs to run one
+benchmark: per-thread program factories, the shared address map they were
+built against, and a validation hook that checks the final architectural
+memory against the workload's sequential specification -- the equivalent
+of the paper's functional checker simulator (Section 5.3), catching any
+serializability violation the memory system might introduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from repro.coherence.memory import ValueStore
+from repro.runtime.env import ThreadEnv
+
+ThreadFactory = Callable[[ThreadEnv], Generator]
+Validator = Callable[[ValueStore], None]
+
+
+class ValidationError(AssertionError):
+    """The final memory image violates the workload's specification."""
+
+
+@dataclass
+class Workload:
+    """One runnable benchmark instance."""
+
+    name: str
+    threads: list[ThreadFactory]
+    validate: Optional[Validator] = None
+    lock_addrs: set[int] = field(default_factory=set)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.threads)
+
+    def check(self, store: ValueStore) -> None:
+        """Run the functional validation; raises ValidationError."""
+        if self.validate is not None:
+            self.validate(store)

@@ -1,0 +1,184 @@
+"""Discrete-event simulation kernel.
+
+The whole reproduction is event-driven rather than cycle-driven: every
+latency-bearing action (a bus grant, a snoop broadcast, a data delivery, an
+instruction block completing) is one scheduled event.  Time is measured in
+processor clock cycles (the paper's target machine runs at 1 GHz, so one
+cycle is one nanosecond, but nothing here depends on the wall-clock
+interpretation).
+
+The kernel deliberately knows nothing about coherence or processors; it only
+orders callbacks.  Determinism matters for reproducibility: events scheduled
+for the same cycle fire in scheduling order (a monotonically increasing
+sequence number breaks ties), so a given seed always replays the exact same
+interleaving.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while registered actors are
+    still incomplete.
+
+    In a correct run the queue only drains after every thread program has
+    finished.  An early drain means some component is waiting for an event
+    that will never come -- the simulator equivalent of a hardware deadlock
+    -- and the diagnostic message lists who was still blocked.
+    """
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are cancellable: :meth:`cancel` marks the event dead and the
+    kernel skips it when popped.  This is how spin-wait timeouts and
+    superseded wakeups are handled without scrubbing the heap.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "alive", "label")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., None],
+                 args: tuple, label: str = ""):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.alive = True
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.alive = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "" if self.alive else " (cancelled)"
+        name = self.label or getattr(self.fn, "__qualname__", str(self.fn))
+        return f"<Event t={self.time} #{self.seq} {name}{state}>"
+
+
+class Simulator:
+    """The event queue and simulated clock.
+
+    Components interact with the kernel through three calls:
+
+    * :meth:`schedule` -- run a callback ``delay`` cycles from now;
+    * :meth:`now` (property) -- the current simulated cycle;
+    * :meth:`run` -- drain the queue until completion or a limit.
+
+    Actors (typically processors) may register completion predicates via
+    :meth:`add_actor`; :meth:`run` uses them to distinguish a clean finish
+    from a deadlock.
+    """
+
+    def __init__(self, max_cycles: Optional[int] = None):
+        self._queue: list[Event] = []
+        self._now = 0
+        self._seq = 0
+        self._events_fired = 0
+        self.max_cycles = max_cycles
+        self._actors: list[Any] = []
+        self.trace: Optional[Callable[[int, str], None]] = None
+
+    # ------------------------------------------------------------------
+    # Clock and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time in cycles."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far (for reporting)."""
+        return self._events_fired
+
+    def schedule(self, delay: int, fn: Callable[..., None], *args: Any,
+                 label: str = "") -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` cycles from now.
+
+        Returns the :class:`Event`, which the caller may cancel.  Delays
+        must be non-negative; a zero delay runs after all events already
+        scheduled for the current cycle (FIFO within a cycle).
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._seq += 1
+        event = Event(self._now + delay, self._seq, fn, args, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Actors and completion
+    # ------------------------------------------------------------------
+    def add_actor(self, actor: Any) -> None:
+        """Register an object with a ``done`` attribute (or property).
+
+        ``run()`` reports a deadlock if the queue drains while any actor's
+        ``done`` is false.
+        """
+        self._actors.append(actor)
+
+    def _incomplete_actors(self) -> list[Any]:
+        return [a for a in self._actors if not getattr(a, "done", True)]
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None) -> int:
+        """Drain the event queue.
+
+        Runs until the queue is empty, until the optional ``until`` cycle,
+        or until ``max_cycles``.  Returns the final simulated time.  Raises
+        :class:`DeadlockError` if the queue empties with incomplete actors,
+        and :class:`SimulationError` on a cycle-budget overrun (which in
+        this codebase nearly always means livelock).
+        """
+        limit = self.max_cycles
+        if until is not None:
+            limit = until if limit is None else min(limit, until)
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if not event.alive:
+                continue
+            if limit is not None and event.time > limit:
+                # Push it back: the caller may resume later.
+                heapq.heappush(self._queue, event)
+                self._now = limit
+                if until is not None and (self.max_cycles is None
+                                          or until < self.max_cycles):
+                    return self._now
+                raise SimulationError(
+                    f"cycle budget exhausted at {limit} cycles with "
+                    f"{len(self._queue)} pending events; "
+                    f"blocked actors: {self._incomplete_actors()!r}")
+            self._now = event.time
+            self._events_fired += 1
+            if self.trace is not None:  # pragma: no cover - debug hook
+                self.trace(self._now, event.label)
+            event.fn(*event.args)
+        stuck = self._incomplete_actors()
+        if stuck:
+            raise DeadlockError(
+                f"event queue drained at cycle {self._now} but "
+                f"{len(stuck)} actor(s) incomplete: "
+                + ", ".join(repr(a) for a in stuck))
+        return self._now
+
+    def pending(self) -> int:
+        """Number of live events still queued (cancelled ones excluded)."""
+        return sum(1 for e in self._queue if e.alive)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Simulator t={self._now} queued={len(self._queue)} "
+                f"fired={self._events_fired}>")

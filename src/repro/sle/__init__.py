@@ -1,0 +1,5 @@
+"""Speculative Lock Elision (the enabling mechanism, Rajwar & Goodman 2001)."""
+
+from repro.sle.elision import SpeculationManager
+
+__all__ = ["SpeculationManager"]

@@ -1,0 +1,7 @@
+"""Software lock algorithms run through the simulated memory system."""
+
+from repro.sync.locks import FREE, HELD, TestAndTestAndSetLock
+from repro.sync.mcs import McsLock, QnodeAllocator
+
+__all__ = ["TestAndTestAndSetLock", "McsLock", "QnodeAllocator",
+           "FREE", "HELD"]

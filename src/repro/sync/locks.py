@@ -1,0 +1,46 @@
+"""test&test&set lock built on LL/SC.
+
+This is the lock the paper's BASE, SLE and TLR configurations all run
+(same executable): spin reading until the lock looks free, then attempt
+an LL/SC acquire.  The release is a plain store of the free value -- the
+second half of the silent store pair SLE elides.
+
+Spinning is modeled with ``Watch``: a test&test&set spinner holds a
+shared copy of the lock line and learns of a release only through an
+invalidation, so parking until the invalidation *is* the spin (and its
+duration is charged as lock stall).  On wakeup all spinners race to the
+line -- recreating the invalidation/refill storm that makes BASE degrade
+under contention in Figures 8-10.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.cpu import isa
+
+FREE = 0
+HELD = 1
+
+
+class TestAndTestAndSetLock:
+    """The shared-executable lock API for BASE/SLE/TLR."""
+
+    name = "test&test&set"
+
+    def acquire(self, env, lock_addr: int, pc: str) -> Generator:
+        while True:
+            value = yield isa.LoadLinked(lock_addr, pc=f"{pc}.ll")
+            if value == FREE:
+                ok = yield isa.StoreConditional(lock_addr, HELD,
+                                                pc=f"{pc}.sc")
+                if ok:
+                    return
+                # SC failed (link lost to an interfering access): brief
+                # backoff, then retry.
+                yield isa.Compute(4)
+            else:
+                yield isa.Watch(lock_addr, expect=value)
+
+    def release(self, env, lock_addr: int, pc: str) -> Generator:
+        yield isa.Write(lock_addr, FREE, pc=f"{pc}.rel", is_lock=True)

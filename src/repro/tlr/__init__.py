@@ -1,0 +1,8 @@
+"""Transactional Lock Removal: timestamps and deferral machinery."""
+
+from repro.tlr.deferral import ChainState, DeferredEntry, DeferredQueue
+from repro.tlr.guarantee import FootprintGuarantee, guaranteed_footprint
+from repro.tlr.timestamp import TimestampAuthority
+
+__all__ = ["TimestampAuthority", "DeferredQueue", "DeferredEntry",
+           "ChainState", "FootprintGuarantee", "guaranteed_footprint"]

@@ -1,0 +1,55 @@
+"""Architecturally-specified transaction-size guarantees (Section 4).
+
+The paper's stability guarantees are conditional on resources: "if the
+system has a 16 entry victim cache and a 4-way data cache, the
+programmer can be sure any transaction accessing 20 cache lines or less
+is ensured a lock-free execution."  This module computes that contract
+from a :class:`SystemConfig`, so software that wants *guaranteed*
+wait-free critical sections can size them against the published bound
+(the paper's Section 8: "The size of transactions can be architecturally
+specified thus guaranteeing programmers a wait-free critical section
+execution").
+
+The worst case for reads is every accessed line mapping to one cache
+set: the set holds ``assoc`` lines and the victim cache catches the
+rest.  Written lines are additionally bounded by the speculative write
+buffer.  Nesting is bounded by the elision-tracking depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.config import SystemConfig
+
+
+@dataclass(frozen=True)
+class FootprintGuarantee:
+    """The transaction footprint guaranteed a lock-free execution."""
+
+    total_lines: int      # lines a transaction may access, worst case
+    written_lines: int    # of those, lines it may write
+    nesting_depth: int    # nested elisions trackable
+
+    def admits(self, read_lines: int, written_lines: int = 0,
+               nesting: int = 1) -> bool:
+        """True when a transaction with this footprint is guaranteed a
+        lock-free (and hence, under TLR, wait-free) execution."""
+        return (read_lines + written_lines <= self.total_lines
+                and written_lines <= self.written_lines
+                and nesting <= self.nesting_depth)
+
+
+def guaranteed_footprint(config: SystemConfig) -> FootprintGuarantee:
+    """Compute the architectural guarantee for a machine configuration.
+
+    Note the lock line itself occupies one guaranteed slot (it is read
+    and tracked within the transaction), which is why the usable data
+    footprint is one line less than the raw bound.
+    """
+    raw = config.cache.assoc + config.cache.victim_entries
+    total = raw - 1  # one slot for the elided lock's line
+    return FootprintGuarantee(
+        total_lines=total,
+        written_lines=min(total, config.spec.write_buffer_entries),
+        nesting_depth=config.spec.elision_depth)

@@ -1,0 +1,14 @@
+"""Benchmarks: the paper's microbenchmarks and synthetic applications."""
+
+from repro.workloads.apps import (ALL_APPS, barnes, cholesky, mp3d,
+                                  ocean_cont, radiosity, raytrace,
+                                  water_nsq)
+from repro.workloads.common import AddressSpace
+from repro.workloads.generator import WorkloadSpec, generate, random_spec
+from repro.workloads.microbench import (linked_list, multiple_counter,
+                                        single_counter)
+
+__all__ = ["AddressSpace", "multiple_counter", "single_counter",
+           "linked_list", "ALL_APPS", "ocean_cont", "water_nsq",
+           "raytrace", "radiosity", "barnes", "cholesky", "mp3d",
+           "WorkloadSpec", "generate", "random_spec"]

@@ -1,0 +1,360 @@
+"""Synthetic application kernels (the paper's Table 1 / Figure 11 suite).
+
+The paper evaluates seven SPLASH/SPLASH-2 codes chosen for their
+fine-grain locking behaviour.  We cannot run the original binaries, so
+each kernel here reproduces the *locking and critical-section signature*
+the paper reports for its namesake -- lock count, contention level,
+critical-section footprint, conflict pattern, and the resource-overflow
+behaviour -- on synthetic data in simulated memory:
+
+================  =====================================================
+``ocean_cont``    a few global counter locks, long compute phases; lock
+                  time is a tiny fraction of execution (TLR ~ BASE).
+``water_nsq``     frequent synchronization to evenly-spread molecule
+                  locks, essentially uncontended; MCS pays its software
+                  overhead on every acquire and loses to BASE.
+``raytrace``      one work-list lock plus counter locks, moderate
+                  contention (paper: ~16% lock contribution).
+``radiosity``     a hot central task queue -- the most contended code;
+                  the paper's biggest TLR win (1.47x).
+``barnes``        octree cell locks during tree build: contended locks
+                  *with real data conflicts*; sub-optimal conflict
+                  ordering makes TLR restart and MCS slightly wins.
+``cholesky``      task queue plus column locks with large critical
+                  sections; ~4% of dynamic critical sections overflow
+                  the speculative write buffer, forcing lock
+                  acquisitions (paper: 3.7%).
+``mp3d``          very frequent locking to a lock array too large for
+                  the L1; locks are uncontended but miss constantly.
+                  TLR removes the lock-ownership misses (1.40x) while
+                  MCS's overhead is disastrous (BASE/MCS = 1.47x).
+================  =====================================================
+
+Every kernel validates its final memory image against the sequential
+specification (total increments conserved), so any serializability bug in
+the memory system fails the run rather than skewing the numbers.
+
+``ALL_APPS`` maps paper benchmark names to builders with the Figure 11
+workload scale as defaults; ``coarse mp3d`` (one lock for every cell) is
+the paper's coarse-grain-vs-fine-grain experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from repro.runtime.env import ThreadEnv
+from repro.runtime.program import Workload
+from repro.workloads.common import AddressSpace
+
+
+@dataclass
+class _Region:
+    """One lock-protected region: a lock and its data lines."""
+
+    lock: int
+    data: list[int]
+    hits: int = 0   # expected update count (filled in by validators)
+
+
+def _pick_weighted(rng: random.Random, weights: list[float]) -> int:
+    """Weighted index choice (used for skewed lock popularity)."""
+    total = sum(weights)
+    x = rng.random() * total
+    acc = 0.0
+    for i, w in enumerate(weights):
+        acc += w
+        if x <= acc:
+            return i
+    return len(weights) - 1
+
+
+def _update_body(region: _Region, reads: int, writes: int,
+                 work: int, pc: str, rotate: int = 0):
+    """A critical-section body: read/modify/write ``writes`` of the
+    region's data words (each data word counts updates), plus extra
+    plain reads, plus in-section compute."""
+
+    def body(env: ThreadEnv) -> Generator:
+        for i in range(writes):
+            addr = region.data[(rotate + i) % len(region.data)]
+            value = yield env.read(addr, pc=f"{pc}.rw{i}.ld")
+            yield env.write(addr, value + 1, pc=f"{pc}.rw{i}.st")
+        for i in range(reads):
+            addr = region.data[(rotate + writes + i) % len(region.data)]
+            yield env.read(addr, pc=f"{pc}.rd{i}")
+        if work:
+            yield env.compute(work)
+
+    return body
+
+
+def _make_validator(regions: list[_Region], writes_per_cs: int):
+    def validate(store) -> None:
+        for idx, region in enumerate(regions):
+            expected = [0] * len(region.data)
+            for n in range(region.hits):
+                for i in range(writes_per_cs):
+                    expected[i % len(region.data)] += 1
+            for addr, want in zip(region.data, expected):
+                got = store.read(addr)
+                assert got == want, (
+                    f"region {idx} word {addr:#x}: {got} != {want}")
+    return validate
+
+
+def _generic_app(name: str, num_threads: int, *, iters_per_thread: int,
+                 num_regions: int, data_lines_per_region: int,
+                 cs_writes: int, cs_reads: int, cs_work: int,
+                 outside_work: int, weights: Optional[list[float]] = None,
+                 private_lines: int = 0, private_touches: int = 0,
+                 fair_hi: int = 200, rotate_writes: bool = False,
+                 single_lock: bool = False, seed: int = 1234) -> Workload:
+    """The shared engine behind most kernels.
+
+    Each thread loops: pick a region (uniform or weighted), update it
+    under its lock, then do ``outside_work`` cycles of compute touching
+    ``private_touches`` of its private lines (cache pressure without
+    sharing).  Region choice is made deterministically per (seed, thread,
+    iteration) so the expected update counts are known for validation.
+    """
+    space = AddressSpace()
+    shared_lock = space.alloc_word() if single_lock else None
+    regions = [
+        _Region(lock=shared_lock if single_lock else space.alloc_word(),
+                data=space.alloc_lines(data_lines_per_region))
+        for _ in range(num_regions)
+    ]
+    privates = {
+        tid: space.alloc_lines(private_lines)
+        for tid in range(num_threads)
+    } if private_lines else {}
+
+    # Pre-draw every thread's region sequence so validation is exact.
+    choices: dict[int, list[int]] = {}
+    for tid in range(num_threads):
+        rng = random.Random(f"{seed}:{name}:{tid}")
+        seq = []
+        for _ in range(iters_per_thread):
+            if weights is None:
+                seq.append(rng.randrange(num_regions))
+            else:
+                seq.append(_pick_weighted(rng, weights))
+        choices[tid] = seq
+        for region_idx in seq:
+            regions[region_idx].hits += 1
+
+    def make_thread(tid: int):
+        my_private = privates.get(tid, [])
+
+        def thread(env: ThreadEnv) -> Generator:
+            for it, region_idx in enumerate(choices[tid]):
+                region = regions[region_idx]
+                rotate = tid % max(1, data_lines_per_region) \
+                    if rotate_writes else 0
+                body = _update_body(region, cs_reads, cs_writes, cs_work,
+                                    pc=f"{name}.cs", rotate=rotate)
+                yield from env.critical(region.lock, body, pc=f"{name}.l")
+                if outside_work:
+                    yield env.compute(outside_work)
+                for i in range(private_touches):
+                    addr = my_private[(it + i) % len(my_private)]
+                    value = yield env.read(addr, pc=f"{name}.priv.ld")
+                    yield env.write(addr, value + 1, pc=f"{name}.priv.st")
+                yield env.compute(env.fair_delay(hi=fair_hi))
+
+        return thread
+
+    return Workload(
+        name=name,
+        threads=[make_thread(t) for t in range(num_threads)],
+        validate=_make_validator(regions, cs_writes),
+        lock_addrs={r.lock for r in regions},
+        meta={"space": space, "regions": len(regions),
+              "iters": iters_per_thread},
+    )
+
+
+# ----------------------------------------------------------------------
+# The seven Figure 11 kernels
+# ----------------------------------------------------------------------
+def ocean_cont(num_threads: int, scale: int = 24) -> Workload:
+    """Hydrodynamics: a few counter locks, dominated by grid compute."""
+    return _generic_app(
+        "ocean-cont", num_threads, iters_per_thread=scale,
+        num_regions=4, data_lines_per_region=1,
+        cs_writes=1, cs_reads=0, cs_work=5,
+        outside_work=3200, private_lines=16, private_touches=8)
+
+
+def water_nsq(num_threads: int, scale: int = 96) -> Workload:
+    """Water molecules: frequent, evenly-spread, uncontended locks."""
+    return _generic_app(
+        "water-nsq", num_threads, iters_per_thread=scale,
+        num_regions=8 * num_threads, data_lines_per_region=1,
+        cs_writes=1, cs_reads=1, cs_work=8,
+        outside_work=700, private_lines=8, private_touches=4)
+
+
+def raytrace(num_threads: int, scale: int = 64) -> Workload:
+    """Image rendering: one work-list lock plus counter locks."""
+    # Region 0 is the work list (hot); regions 1..4 are counters.
+    weights = [4.0] + [1.0] * 4
+    return _generic_app(
+        "raytrace", num_threads, iters_per_thread=scale,
+        num_regions=5, data_lines_per_region=1,
+        cs_writes=1, cs_reads=1, cs_work=10,
+        outside_work=900, weights=weights,
+        private_lines=12, private_touches=6)
+
+
+def radiosity(num_threads: int, scale: int = 64) -> Workload:
+    """3-D rendering: a hot central task queue, high contention."""
+    weights = [12.0, 1.0, 1.0]
+    return _generic_app(
+        "radiosity", num_threads, iters_per_thread=scale,
+        num_regions=3, data_lines_per_region=2,
+        cs_writes=1, cs_reads=1, cs_work=25,
+        outside_work=1100, weights=weights,
+        private_lines=6, private_touches=2)
+
+
+def barnes(num_threads: int, scale: int = 48, tree_cells: int = 15) -> Workload:
+    """N-body octree build: cell locks with true data conflicts.
+
+    Cells form an implicit tree; popularity decays with depth, so
+    shallow cells are contended and concurrently *written* -- the
+    data-conflict pattern that makes TLR restart on sub-optimal
+    orderings while MCS's software queue stays orderly (the one paper
+    benchmark where MCS beats TLR).
+    """
+    weights = []
+    depth = 0
+    count_at_depth = 1
+    produced = 0
+    while produced < tree_cells:
+        take = min(count_at_depth, tree_cells - produced)
+        weights.extend([1.0 / (3.0 ** depth)] * take)
+        produced += take
+        count_at_depth *= 2
+        depth += 1
+    return _generic_app(
+        "barnes", num_threads, iters_per_thread=scale,
+        num_regions=tree_cells, data_lines_per_region=3,
+        cs_writes=3, cs_reads=1, cs_work=60,
+        outside_work=1300, weights=weights,
+        private_lines=8, private_touches=2, rotate_writes=True)
+
+
+def mp3d(num_threads: int, scale: int = 160, cells: Optional[int] = None,
+         coarse: bool = False) -> Workload:
+    """Rarefied-flow simulation: very frequent locking to a cell-lock
+    array too large for the L1.
+
+    ``coarse=True`` replaces the per-cell locks by one single lock over
+    all cells (the paper's coarse-grain experiment, Section 6.3): data
+    footprint shrinks, memory behaviour improves, and TLR turns the
+    serialization into concurrency -- while BASE/MCS choke on the
+    contention.
+    """
+    if cells is None:
+        cells = 160   # lock+data lines mostly resident; locks bounce under BASE
+    name = "mp3d-coarse" if coarse else "mp3d"
+    return _generic_app(
+        name, num_threads, iters_per_thread=scale,
+        num_regions=cells, data_lines_per_region=1,
+        cs_writes=1, cs_reads=0, cs_work=6,
+        outside_work=20, private_lines=4, private_touches=1,
+        fair_hi=40, single_lock=coarse)
+
+
+def cholesky(num_threads: int, scale: int = 40, columns: int = 32,
+             overflow_fraction: float = 0.08) -> Workload:
+    """Matrix factoring: task queue plus column locks; a tail of large
+    critical sections overflows the speculative write buffer.
+
+    Tasks are drawn from a shared counter under the task-queue lock;
+    each task then locks one column and updates every entry.  Column
+    heights follow a two-point distribution: mostly small, with
+    ``overflow_fraction`` of tasks hitting a column taller than the
+    64-line write buffer (the paper: 3.7% of dynamic critical sections,
+    80% write-buffer / 20% cache limited).
+    """
+    space = AddressSpace()
+    task_lock = space.alloc_word()
+    task_counter = space.alloc_word()
+    total_tasks = scale * num_threads
+    # Column geometry: most columns small, the last one enormous.
+    tall = max(1, round(columns * 0.08))
+    heights = [12] * (columns - tall) + [80] * tall
+    col_locks = [space.alloc_word() for _ in range(columns)]
+    col_data = [space.alloc_lines(h) for h in heights]
+    # Pre-draw the task -> column map.
+    rng = random.Random(99)
+    weights = [overflow_fraction / tall if i >= columns - tall
+               else (1.0 - overflow_fraction) / (columns - tall)
+               for i in range(columns)]
+    task_columns = [_pick_weighted(rng, weights) for _ in range(total_tasks)]
+    col_hits = [0] * columns
+    for col in task_columns:
+        col_hits[col] += 1
+
+    def make_thread(tid: int):
+        def thread(env: ThreadEnv) -> Generator:
+            while True:
+                def pop_task(env: ThreadEnv) -> Generator:
+                    t = yield env.read(task_counter, pc="chol.task.ld")
+                    if t >= total_tasks:
+                        return -1
+                    yield env.write(task_counter, t + 1, pc="chol.task.st")
+                    return t
+
+                task = yield from env.critical(task_lock, pop_task,
+                                               pc="chol.q")
+                if task < 0:
+                    return
+                col = task_columns[task]
+
+                def update_column(env: ThreadEnv) -> Generator:
+                    for addr in col_data[col]:
+                        value = yield env.read(addr, pc="chol.col.ld")
+                        yield env.write(addr, value + 1, pc="chol.col.st")
+
+                yield from env.critical(col_locks[col], update_column,
+                                        pc="chol.c")
+                yield env.compute(1400)
+                yield env.compute(env.fair_delay())
+        return thread
+
+    def validate(store) -> None:
+        got_tasks = store.read(task_counter)
+        assert got_tasks == total_tasks, (
+            f"task counter {got_tasks} != {total_tasks}")
+        for col in range(columns):
+            for addr in col_data[col]:
+                got = store.read(addr)
+                assert got == col_hits[col], (
+                    f"column {col} word {addr:#x}: {got} != {col_hits[col]}")
+
+    return Workload(
+        name="cholesky",
+        threads=[make_thread(t) for t in range(num_threads)],
+        validate=validate,
+        lock_addrs={task_lock, *col_locks},
+        meta={"space": space, "columns": columns, "tasks": total_tasks},
+    )
+
+
+AppBuilder = Callable[[int], Workload]
+
+ALL_APPS: dict[str, AppBuilder] = {
+    "ocean-cont": ocean_cont,
+    "water-nsq": water_nsq,
+    "raytrace": raytrace,
+    "radiosity": radiosity,
+    "barnes": barnes,
+    "cholesky": cholesky,
+    "mp3d": mp3d,
+}

@@ -1,0 +1,53 @@
+"""Shared workload helpers: address allocation and padding.
+
+Addresses are word indices (8-byte words, 8 per 64-byte line).  The paper
+pads its data structures to eliminate false sharing; :class:`AddressSpace`
+makes that the default -- each allocation can start on a fresh line -- so
+any sharing the benchmarks exhibit is true sharing.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.isa import WORDS_PER_LINE
+
+
+class AddressSpace:
+    """A bump allocator over simulated word addresses."""
+
+    def __init__(self, base_line: int = 16):
+        # Start a few lines in so address 0 stays an obvious poison value
+        # (NULL for the pointer-based workloads).
+        self._next_word = base_line * WORDS_PER_LINE
+
+    def alloc_line(self) -> int:
+        """First word address of a fresh, untouched cache line."""
+        self._align()
+        addr = self._next_word
+        self._next_word += WORDS_PER_LINE
+        return addr
+
+    def alloc_word(self, padded: bool = True) -> int:
+        """One word; on its own line when ``padded`` (the default)."""
+        if padded:
+            return self.alloc_line()
+        addr = self._next_word
+        self._next_word += 1
+        return addr
+
+    def alloc_block(self, words: int, padded: bool = True) -> int:
+        """A contiguous run of ``words`` words."""
+        if padded:
+            self._align()
+        addr = self._next_word
+        self._next_word += words
+        if padded:
+            self._align()
+        return addr
+
+    def alloc_lines(self, count: int) -> list[int]:
+        return [self.alloc_line() for _ in range(count)]
+
+    def _align(self) -> None:
+        rem = self._next_word % WORDS_PER_LINE
+        if rem:
+            self._next_word += WORDS_PER_LINE - rem

@@ -1,0 +1,213 @@
+"""The paper's three microbenchmarks (Section 5.1).
+
+* ``multiple_counter`` -- coarse-grain locking, no data conflicts: n
+  counters protected by a *single* lock, each processor updating only its
+  own counter.  The lock serializes BASE/MCS; SLE/TLR commit concurrently
+  (Figure 8).
+
+* ``single_counter`` -- fine-grain, high conflict: one counter, one lock,
+  every processor incrementing the same word.  No exploitable parallelism;
+  the question is hand-off efficiency (Figure 9).
+
+* ``linked_list`` -- fine-grain, dynamic conflicts: a doubly-linked queue
+  with Head and Tail under one lock.  Dequeuers touch Head, enqueuers
+  Tail, except when the queue is empty or singleton -- concurrency that is
+  impossible to exploit with the single lock but falls out of TLR's
+  data-conflict-based ordering (Figure 10).
+
+Iteration counts are scaled from the paper's 2^24/2^16 to event-simulator
+scale; each ``total_*`` parameter is *total system work*, divided among
+the threads, so points along a processor-count sweep do identical work
+(matching the paper's methodology).
+
+Every workload carries a validator that replays the sequential
+specification against final memory -- the functional-checker role.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.runtime.env import ThreadEnv
+from repro.runtime.program import Workload
+from repro.workloads.common import AddressSpace
+
+NULL = 0
+
+# Node field offsets (each node occupies one padded line).
+_PREV = 0
+_NEXT = 1
+_VALUE = 2
+
+
+def multiple_counter(num_threads: int, total_increments: int = 4096,
+                     think_cycles: int = 20) -> Workload:
+    """Coarse-grain/no-conflicts: n counters, one lock."""
+    space = AddressSpace()
+    lock = space.alloc_word()
+    counters = space.alloc_lines(num_threads)
+    iters = max(1, total_increments // num_threads)
+
+    def make_thread(tid: int):
+        counter = counters[tid]
+
+        def thread(env: ThreadEnv) -> Generator:
+            def body(env: ThreadEnv) -> Generator:
+                value = yield env.read(counter, pc="mc.load")
+                yield env.compute(think_cycles)
+                yield env.write(counter, value + 1, pc="mc.store")
+
+            for _ in range(iters):
+                yield from env.critical(lock, body, pc="mc")
+                yield env.compute(env.fair_delay())
+
+        return thread
+
+    def validate(store) -> None:
+        for tid, counter in enumerate(counters[:num_threads]):
+            got = store.read(counter)
+            assert got == iters, (
+                f"counter[{tid}] = {got}, expected {iters}")
+
+    return Workload(name="multiple-counter",
+                    threads=[make_thread(t) for t in range(num_threads)],
+                    validate=validate, lock_addrs={lock},
+                    meta={"space": space, "iters": iters})
+
+
+def single_counter(num_threads: int, total_increments: int = 2048,
+                   think_cycles: int = 10) -> Workload:
+    """Fine-grain/high-conflict: one counter, one lock."""
+    space = AddressSpace()
+    lock = space.alloc_word()
+    counter = space.alloc_word()
+    iters = max(1, total_increments // num_threads)
+
+    def make_thread(tid: int):
+        def thread(env: ThreadEnv) -> Generator:
+            def body(env: ThreadEnv) -> Generator:
+                value = yield env.read(counter, pc="sc.load")
+                yield env.compute(think_cycles)
+                yield env.write(counter, value + 1, pc="sc.store")
+
+            for _ in range(iters):
+                yield from env.critical(lock, body, pc="sc")
+                yield env.compute(env.fair_delay())
+
+        return thread
+
+    expected = iters * num_threads
+
+    def validate(store) -> None:
+        got = store.read(counter)
+        assert got == expected, f"counter = {got}, expected {expected}"
+
+    return Workload(name="single-counter",
+                    threads=[make_thread(t) for t in range(num_threads)],
+                    validate=validate, lock_addrs={lock},
+                    meta={"space": space, "iters": iters,
+                          "counter": counter})
+
+
+def linked_list(num_threads: int, total_ops: int = 2048,
+                initial_items: int | None = None,
+                think_cycles: int = 10) -> Workload:
+    """Fine-grain/dynamic-conflicts: one lock, a doubly-linked queue."""
+    space = AddressSpace()
+    lock = space.alloc_word()
+    head = space.alloc_word()
+    tail = space.alloc_word()
+    ready = space.alloc_word()
+    if initial_items is None:
+        initial_items = max(2, num_threads)
+    nodes = space.alloc_lines(initial_items)
+    iters = max(1, total_ops // num_threads)
+
+    def initializer(env: ThreadEnv) -> Generator:
+        """Thread 0 builds the initial queue before doing its share."""
+        prev = NULL
+        for i, node in enumerate(nodes):
+            yield env.write(node + _PREV, prev, pc="ll.init")
+            yield env.write(node + _NEXT, NULL, pc="ll.init")
+            yield env.write(node + _VALUE, i + 1, pc="ll.init")
+            if prev != NULL:
+                yield env.write(prev + _NEXT, node, pc="ll.init")
+            prev = node
+        yield env.write(head, nodes[0], pc="ll.init")
+        yield env.write(tail, nodes[-1], pc="ll.init")
+        yield env.write(ready, 1, pc="ll.ready")  # start flag
+
+    def dequeue_body(env: ThreadEnv) -> Generator:
+        h = yield env.read(head, pc="ll.deq.head")
+        if h == NULL:
+            return NULL
+        nxt = yield env.read(h + _NEXT, pc="ll.deq.next")
+        yield env.write(head, nxt, pc="ll.deq.sethead")
+        if nxt == NULL:
+            yield env.write(tail, NULL, pc="ll.deq.settail")
+        else:
+            yield env.write(nxt + _PREV, NULL, pc="ll.deq.setprev")
+        return h
+
+    def make_enqueue_body(node: int):
+        def enqueue_body(env: ThreadEnv) -> Generator:
+            t = yield env.read(tail, pc="ll.enq.tail")
+            yield env.write(node + _PREV, t, pc="ll.enq.setprev")
+            yield env.write(node + _NEXT, NULL, pc="ll.enq.setnext")
+            yield env.write(tail, node, pc="ll.enq.settail")
+            if t == NULL:
+                yield env.write(head, node, pc="ll.enq.sethead")
+            else:
+                yield env.write(t + _NEXT, node, pc="ll.enq.link")
+            return None
+        return enqueue_body
+
+    def make_thread(tid: int):
+        def thread(env: ThreadEnv) -> Generator:
+            if tid == 0:
+                yield from initializer(env)
+            else:
+                # Wait for the queue to be built.
+                while True:
+                    built = yield env.read(ready, pc="ll.waitready")
+                    if built:
+                        break
+                    yield env.compute(100)
+            for _ in range(iters):
+                node = NULL
+                while node == NULL:
+                    node = yield from env.critical(lock, dequeue_body,
+                                                   pc="ll.deq")
+                    if node == NULL:
+                        yield env.compute(env.fair_delay())
+                yield env.compute(think_cycles)
+                yield from env.critical(lock, make_enqueue_body(node),
+                                        pc="ll.enq")
+                yield env.compute(env.fair_delay())
+
+        return thread
+
+    def validate(store) -> None:
+        # Walk the final queue: every initial node present exactly once,
+        # prev/next mutually consistent, tail reachable and terminal.
+        seen: list[int] = []
+        cursor = store.read(head)
+        prev = NULL
+        node_set = set(nodes)
+        while cursor != NULL:
+            assert cursor in node_set, f"foreign node {cursor:#x} in list"
+            assert cursor not in seen, f"cycle at node {cursor:#x}"
+            assert store.read(cursor + _PREV) == prev, (
+                f"bad prev pointer at {cursor:#x}")
+            seen.append(cursor)
+            prev = cursor
+            cursor = store.read(cursor + _NEXT)
+        assert len(seen) == len(nodes), (
+            f"queue has {len(seen)} nodes, expected {len(nodes)}")
+        assert store.read(tail) == seen[-1], "tail does not match last node"
+
+    return Workload(name="doubly-linked-list",
+                    threads=[make_thread(t) for t in range(num_threads)],
+                    validate=validate, lock_addrs={lock},
+                    meta={"space": space, "iters": iters, "head": head,
+                          "tail": tail, "nodes": list(nodes)})

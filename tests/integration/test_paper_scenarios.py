@@ -1,0 +1,176 @@
+"""Reconstructions of the paper's worked examples.
+
+* Figure 2: two processors writing A and B in opposite orders livelock
+  under conflict-free-less speculation -- plain SLE resolves it only by
+  falling back to the lock.
+* Figure 4: under TLR the earlier timestamp retains ownership of both
+  lines by deferring the later requester, which restarts; both commit.
+* Figure 6: three processors and two lines form a cyclic wait that
+  markers and probes must break.
+* Figure 7: pure single-line conflict turns into a hardware queue on the
+  data itself -- ideally no restarts at all.
+"""
+
+import pytest
+
+from repro.harness.config import SyncScheme
+from repro.workloads.common import AddressSpace
+
+from tests.conftest import run_threads, small_config
+
+
+def two_line_thread(lock, first, second, iters, label):
+    """Write two shared lines inside one critical section."""
+
+    def thread(env):
+        def body(env):
+            for addr in (first, second):
+                value = yield env.read(addr, pc=f"{label}.{addr}.ld")
+                yield env.compute(30)
+                yield env.write(addr, value + 1, pc=f"{label}.{addr}.st")
+
+        for _ in range(iters):
+            yield from env.critical(lock, body, pc=label)
+            yield env.compute(env.fair_delay())
+
+    return thread
+
+
+class TestFigure2And4:
+    """Opposite-order writers: P1 writes A then B, P2 writes B then A."""
+
+    ITERS = 12
+
+    def build(self, space):
+        lock = space.alloc_word()
+        a = space.alloc_word()
+        b = space.alloc_word()
+        return lock, a, b
+
+    def run_scheme(self, scheme):
+        space = AddressSpace()
+        lock, a, b = self.build(space)
+        machine = run_threads(
+            [two_line_thread(lock, a, b, self.ITERS, "p1"),
+             two_line_thread(lock, b, a, self.ITERS, "p2")],
+            small_config(2, scheme), space=space)
+        assert machine.store.read(a) == 2 * self.ITERS
+        assert machine.store.read(b) == 2 * self.ITERS
+        return machine
+
+    def test_figure2_sle_survives_via_lock_fallback(self):
+        machine = self.run_scheme(SyncScheme.SLE)
+        # SLE cannot resolve the cross conflict speculatively: it must
+        # have restarted and then acquired the lock at least once.
+        assert machine.stats.total("lock_fallbacks") > 0
+
+    def test_figure4_tlr_resolves_without_locks(self):
+        machine = self.run_scheme(SyncScheme.TLR)
+        # Every critical section committed as a lock-free transaction:
+        # no fallback lock acquisitions at all.
+        assert machine.stats.total("lock_fallbacks") == 0
+        assert machine.stats.total("elisions_committed") == 2 * self.ITERS
+
+    def test_figure4_conflicts_were_actually_exercised(self):
+        machine = self.run_scheme(SyncScheme.TLR)
+        summary = machine.stats.summary()
+        assert summary["requests_deferred"] + summary["restarts"] > 0
+
+    def test_base_reference(self):
+        machine = self.run_scheme(SyncScheme.BASE)
+        assert machine.stats.total("elisions_started") == 0
+
+
+class TestFigure6ProbeChain:
+    """Three+ processors, multiple lines, cyclic-wait potential."""
+
+    def test_cycle_broken_by_markers_and_probes(self):
+        space = AddressSpace()
+        lock = space.alloc_word()
+        lines = [space.alloc_word() for _ in range(3)]
+        iters = 10
+
+        def rotated(offset):
+            order = lines[offset:] + lines[:offset]
+
+            def thread(env):
+                def body(env):
+                    for addr in order:
+                        value = yield env.read(addr, pc=f"r{offset}.{addr}")
+                        yield env.compute(25)
+                        yield env.write(addr, value + 1,
+                                        pc=f"r{offset}.{addr}.st")
+
+                for _ in range(iters):
+                    yield from env.critical(lock, body, pc=f"r{offset}")
+                    yield env.compute(env.fair_delay())
+
+            return thread
+
+        machine = run_threads([rotated(i) for i in range(3)],
+                              small_config(3, SyncScheme.TLR), space=space)
+        for addr in lines:
+            assert machine.store.read(addr) == 3 * iters
+        # The chain machinery was exercised.
+        summary = machine.stats.summary()
+        assert summary["markers_sent"] > 0
+        assert machine.stats.total("lock_fallbacks") == 0
+
+    def test_probes_resolve_priority_inversion(self):
+        """Same shape with more processors: probes must fire."""
+        space = AddressSpace()
+        lock = space.alloc_word()
+        lines = [space.alloc_word() for _ in range(3)]
+        iters = 8
+        num = 6
+
+        def rotated(offset):
+            order = lines[offset % 3:] + lines[:offset % 3]
+
+            def thread(env):
+                def body(env):
+                    for addr in order:
+                        value = yield env.read(addr, pc=f"q{offset}.{addr}")
+                        yield env.write(addr, value + 1,
+                                        pc=f"q{offset}.{addr}.st")
+
+                for _ in range(iters):
+                    yield from env.critical(lock, body, pc=f"q{offset}")
+                    yield env.compute(env.fair_delay())
+
+            return thread
+
+        machine = run_threads([rotated(i) for i in range(num)],
+                              small_config(num, SyncScheme.TLR), space=space)
+        for addr in lines:
+            assert machine.store.read(addr) == num * iters
+        assert machine.stats.total("probes_sent") > 0
+
+
+class TestFigure7QueueOnData:
+    def test_single_line_conflict_queues_without_restarts(self):
+        """Section 6.1: with one contended line, TLR's deferral queue
+        passes the data processor to processor; restarts should be rare
+        (the paper: none)."""
+        space = AddressSpace()
+        lock, counter = space.alloc_word(), space.alloc_word()
+        iters = 16
+        num = 4
+
+        def incrementer(env):
+            def body(env):
+                value = yield env.read(counter, pc="f7.ld")
+                yield env.compute(10)
+                yield env.write(counter, value + 1, pc="f7.st")
+
+            for _ in range(iters):
+                yield from env.critical(lock, body, pc="f7")
+                yield env.compute(env.fair_delay())
+
+        machine = run_threads([incrementer] * num,
+                              small_config(num, SyncScheme.TLR), space=space)
+        assert machine.store.read(counter) == num * iters
+        summary = machine.stats.summary()
+        assert summary["requests_deferred"] > 0
+        # Deferral (not restart) is the dominant resolution mechanism.
+        assert summary["restarts"] <= summary["requests_deferred"]

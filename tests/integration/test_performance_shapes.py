@@ -1,0 +1,131 @@
+"""Qualitative performance-shape assertions from the paper's evaluation.
+
+These do not pin absolute cycle counts (timing-approximate model, scaled
+workloads); they assert the *orderings and trends* the paper reports:
+who wins, roughly where, and which mechanisms fire.
+"""
+
+import pytest
+
+from repro.harness.config import SyncScheme, SystemConfig
+from repro.harness.runner import compare_schemes
+from repro.workloads.apps import mp3d, radiosity, water_nsq
+from repro.workloads.microbench import (linked_list, multiple_counter,
+                                        single_counter)
+
+
+def _cfg(num_cpus):
+    return SystemConfig(num_cpus=num_cpus, max_cycles=300_000_000)
+
+
+def _cycles(builder, schemes, num_cpus):
+    results = compare_schemes(builder, schemes, _cfg(num_cpus))
+    return {scheme: result.cycles for scheme, result in results.items()}
+
+
+class TestFigure8Shape:
+    """Coarse-grain/no-conflicts: SLE == TLR, both crush BASE and MCS."""
+
+    def test_sle_equals_tlr_without_conflicts(self):
+        cycles = _cycles(lambda: multiple_counter(8, 512),
+                         (SyncScheme.SLE, SyncScheme.TLR), 8)
+        assert cycles[SyncScheme.SLE] == cycles[SyncScheme.TLR]
+
+    def test_elision_beats_base_and_mcs(self):
+        cycles = _cycles(lambda: multiple_counter(8, 512),
+                         (SyncScheme.BASE, SyncScheme.MCS, SyncScheme.TLR), 8)
+        assert cycles[SyncScheme.TLR] < cycles[SyncScheme.MCS]
+        assert cycles[SyncScheme.TLR] < cycles[SyncScheme.BASE]
+
+    def test_base_degrades_with_contention(self):
+        few = _cycles(lambda: multiple_counter(2, 512),
+                      (SyncScheme.BASE,), 2)[SyncScheme.BASE]
+        many = _cycles(lambda: multiple_counter(12, 512),
+                       (SyncScheme.BASE,), 12)[SyncScheme.BASE]
+        # Same total work, more processors: BASE gets *slower*.
+        assert many > few
+
+    def test_tlr_scales_with_processors(self):
+        few = _cycles(lambda: multiple_counter(2, 512),
+                      (SyncScheme.TLR,), 2)[SyncScheme.TLR]
+        many = _cycles(lambda: multiple_counter(12, 512),
+                       (SyncScheme.TLR,), 12)[SyncScheme.TLR]
+        assert many < few  # true concurrency exploited
+
+
+class TestFigure9Shape:
+    """Fine-grain/high-conflict: TLR queues on the data and wins big;
+    SLE collapses back to BASE; strict timestamps cost restarts."""
+
+    def test_tlr_beats_everyone(self):
+        cycles = _cycles(lambda: single_counter(8, 512),
+                         (SyncScheme.BASE, SyncScheme.MCS, SyncScheme.SLE,
+                          SyncScheme.TLR), 8)
+        tlr = cycles[SyncScheme.TLR]
+        assert tlr < cycles[SyncScheme.MCS]
+        assert tlr < cycles[SyncScheme.BASE]
+        assert tlr < cycles[SyncScheme.SLE]
+
+    def test_sle_tracks_base_under_conflicts(self):
+        cycles = _cycles(lambda: single_counter(8, 512),
+                         (SyncScheme.BASE, SyncScheme.SLE), 8)
+        ratio = cycles[SyncScheme.SLE] / cycles[SyncScheme.BASE]
+        assert 0.8 < ratio < 1.25
+
+    def test_strict_ts_worse_than_relaxed(self):
+        cycles = _cycles(lambda: single_counter(8, 512),
+                         (SyncScheme.TLR, SyncScheme.TLR_STRICT_TS), 8)
+        assert cycles[SyncScheme.TLR] < cycles[SyncScheme.TLR_STRICT_TS]
+
+    def test_mcs_scales_but_pays_constant_overhead(self):
+        mcs2 = _cycles(lambda: single_counter(2, 512),
+                       (SyncScheme.MCS,), 2)[SyncScheme.MCS]
+        mcs12 = _cycles(lambda: single_counter(12, 512),
+                        (SyncScheme.MCS,), 12)[SyncScheme.MCS]
+        # Scalable: no contention collapse with 6x the processors.
+        assert mcs12 < mcs2 * 1.5
+
+
+class TestFigure10Shape:
+    """Dynamic conflicts: TLR exploits enqueue/dequeue concurrency."""
+
+    def test_tlr_wins_on_linked_list(self):
+        cycles = _cycles(lambda: linked_list(8, 512),
+                         (SyncScheme.BASE, SyncScheme.MCS, SyncScheme.SLE,
+                          SyncScheme.TLR), 8)
+        tlr = cycles[SyncScheme.TLR]
+        assert tlr < cycles[SyncScheme.BASE]
+        assert tlr < cycles[SyncScheme.MCS]
+        assert tlr < cycles[SyncScheme.SLE]
+
+
+class TestFigure11Shapes:
+    """Spot checks of the application suite orderings at reduced scale."""
+
+    def test_radiosity_tlr_big_win(self):
+        # Contention on the task queue builds with processor count; the
+        # paper's point is at 16 processors.
+        cycles = _cycles(lambda: radiosity(16),
+                         (SyncScheme.BASE, SyncScheme.TLR), 16)
+        assert cycles[SyncScheme.BASE] / cycles[SyncScheme.TLR] > 1.3
+
+    def test_mp3d_mcs_loses_to_base(self):
+        cycles = _cycles(lambda: mp3d(8),
+                         (SyncScheme.BASE, SyncScheme.MCS), 8)
+        assert cycles[SyncScheme.MCS] > cycles[SyncScheme.BASE]
+
+    def test_water_tlr_roughly_neutral(self):
+        cycles = _cycles(lambda: water_nsq(8),
+                         (SyncScheme.BASE, SyncScheme.TLR), 8)
+        speedup = cycles[SyncScheme.BASE] / cycles[SyncScheme.TLR]
+        assert 0.95 < speedup < 1.35
+
+    def test_coarse_mp3d_tlr_beats_fine_base(self):
+        fine_base = _cycles(lambda: mp3d(8),
+                            (SyncScheme.BASE,), 8)[SyncScheme.BASE]
+        coarse_tlr = _cycles(lambda: mp3d(8, coarse=True),
+                             (SyncScheme.TLR,), 8)[SyncScheme.TLR]
+        coarse_base = _cycles(lambda: mp3d(8, coarse=True),
+                              (SyncScheme.BASE,), 8)[SyncScheme.BASE]
+        assert coarse_tlr < fine_base
+        assert coarse_base > 2 * fine_base  # coarse is terrible for BASE

@@ -1,0 +1,154 @@
+"""Section 4 stability properties: non-blocking execution, failure
+atomicity under thread termination, and starvation freedom."""
+
+import pytest
+
+from repro.harness.config import SyncScheme
+from repro.harness.machine import Machine
+from repro.runtime.program import Workload
+from repro.sim.kernel import SimulationError
+from repro.sync.locks import FREE
+from repro.workloads.common import AddressSpace
+
+from tests.conftest import small_config
+
+
+def _build(scheme, deschedule_at, reschedule_at=None, iters=6,
+           victim_work=4000):
+    """One victim thread that gets descheduled inside its critical
+    section, plus two bystanders incrementing the same counter."""
+    space = AddressSpace()
+    lock, counter = space.alloc_word(), space.alloc_word()
+    cfg = small_config(3, scheme)
+    machine = Machine(cfg)
+
+    def victim(env):
+        def body(env):
+            value = yield env.read(counter, pc="v.ld")
+            yield env.compute(victim_work)  # descheduled in this window
+            yield env.write(counter, value + 1, pc="v.st")
+
+        yield from env.critical(lock, body, pc="v")
+
+    def bystander(env):
+        def body(env):
+            value = yield env.read(counter, pc="b.ld")
+            yield env.write(counter, value + 1, pc="b.st")
+
+        for _ in range(iters):
+            yield from env.critical(lock, body, pc="b")
+            yield env.compute(env.fair_delay())
+
+    workload = Workload(name="stability",
+                        threads=[victim, bystander, bystander],
+                        meta={"space": space})
+    machine.sim.schedule(deschedule_at, machine.processors[0].deschedule)
+    if reschedule_at is not None:
+        machine.sim.schedule(reschedule_at, machine.processors[0].reschedule)
+    return machine, workload, lock, counter
+
+
+class TestNonBlocking:
+    def test_tlr_bystanders_progress_past_descheduled_lock_holder(self):
+        machine, workload, lock, counter = _build(
+            SyncScheme.TLR, deschedule_at=600, reschedule_at=60_000)
+        machine.run_workload(workload, validate=False)
+        # All 13 increments landed: 12 bystander + the victim's (replayed
+        # after reschedule).
+        assert machine.store.read(counter) == 13
+        assert machine.store.read(lock) == FREE
+        # Bystanders finished long before the victim was rescheduled:
+        # they were never blocked on the victim's critical section.
+        bystander_finish = max(machine.stats.cpu(1).finish_time,
+                               machine.stats.cpu(2).finish_time)
+        assert bystander_finish < 60_000
+
+    def test_base_bystanders_block_behind_descheduled_holder(self):
+        machine, workload, lock, counter = _build(
+            SyncScheme.BASE, deschedule_at=600, reschedule_at=80_000)
+        machine.run_workload(workload, validate=False)
+        assert machine.store.read(counter) == 13
+        # Under BASE the lock stayed held while the victim slept, so at
+        # least one bystander finished only after the reschedule.
+        bystander_finish = max(machine.stats.cpu(1).finish_time,
+                               machine.stats.cpu(2).finish_time)
+        assert bystander_finish > 80_000
+
+    def test_base_without_reschedule_never_completes(self):
+        machine, workload, lock, counter = _build(
+            SyncScheme.BASE, deschedule_at=600, reschedule_at=None)
+        machine.config.max_cycles = 200_000
+        machine.sim.max_cycles = 200_000
+        with pytest.raises(SimulationError):
+            machine.run_workload(workload, validate=False)
+
+    def test_tlr_without_reschedule_bystanders_still_complete(self):
+        machine, workload, lock, counter = _build(
+            SyncScheme.TLR, deschedule_at=600, reschedule_at=None)
+        # The victim never comes back; the run cannot fully finish, but
+        # the bystanders must complete all their sections first.
+        machine.sim.max_cycles = 200_000
+        with pytest.raises(SimulationError):
+            machine.run_workload(workload, validate=False)
+        assert machine.processors[1].done
+        assert machine.processors[2].done
+        assert machine.store.read(counter) == 12
+
+
+class TestFailureAtomicity:
+    def test_descheduled_transaction_leaves_no_partial_writes(self):
+        space = AddressSpace()
+        lock = space.alloc_word()
+        words = [space.alloc_word() for _ in range(3)]
+        cfg = small_config(1, SyncScheme.TLR)
+        machine = Machine(cfg)
+
+        def victim(env):
+            def body(env):
+                yield env.write(words[0], 1, pc="v.0")
+                yield env.compute(3000)
+                yield env.write(words[1], 1, pc="v.1")
+                yield env.write(words[2], 1, pc="v.2")
+
+            yield from env.critical(lock, body, pc="v")
+
+        workload = Workload(name="atomicity", threads=[victim],
+                            meta={"space": space})
+        machine.sim.schedule(500, machine.processors[0].deschedule)
+
+        def check_mid():
+            # Mid-deschedule: none of the speculative writes is visible.
+            assert all(machine.store.read(w) == 0 for w in words)
+
+        machine.sim.schedule(2_000, check_mid)
+        machine.sim.schedule(4_000, machine.processors[0].reschedule)
+        machine.run_workload(workload, validate=False)
+        assert all(machine.store.read(w) == 1 for w in words)
+
+
+class TestStarvationFreedom:
+    def test_every_thread_completes_under_heavy_conflict(self):
+        """All contenders finish: retained timestamps guarantee each
+        eventually becomes the oldest and wins."""
+        space = AddressSpace()
+        lock, counter = space.alloc_word(), space.alloc_word()
+        iters = 24
+        num = 6
+
+        def incrementer(env):
+            def body(env):
+                value = yield env.read(counter, pc="s.ld")
+                yield env.write(counter, value + 1, pc="s.st")
+
+            for _ in range(iters):
+                yield from env.critical(lock, body, pc="s")
+                yield env.compute(env.fair_delay(lo=1, hi=20))
+
+        cfg = small_config(num, SyncScheme.TLR_STRICT_TS)
+        machine = Machine(cfg)
+        workload = Workload(name="starvation",
+                            threads=[incrementer] * num,
+                            meta={"space": space})
+        machine.run_workload(workload, validate=False)
+        assert machine.store.read(counter) == num * iters
+        assert all(machine.processors[i].done for i in range(num))

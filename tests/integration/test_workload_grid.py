@@ -1,0 +1,86 @@
+"""The full workload x scheme validation grid.
+
+Every microbenchmark and every application kernel must complete and pass
+its functional validator under every synchronization scheme -- this is
+the suite-level serializability check (the role of the paper's
+functional checker simulator).
+"""
+
+import pytest
+
+from repro.harness.config import SyncScheme, SystemConfig
+from repro.harness.runner import run
+from repro.workloads.apps import ALL_APPS, mp3d
+from repro.workloads.microbench import (linked_list, multiple_counter,
+                                        single_counter)
+
+from tests.conftest import ALL_SCHEMES
+
+MICRO = [
+    ("multiple-counter", lambda n: multiple_counter(n, 256)),
+    ("single-counter", lambda n: single_counter(n, 256)),
+    ("linked-list", lambda n: linked_list(n, 256)),
+]
+
+
+def _config(scheme, num_cpus, seed=0):
+    cfg = SystemConfig(num_cpus=num_cpus, scheme=scheme, seed=seed,
+                       max_cycles=50_000_000)
+    return cfg
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+@pytest.mark.parametrize("name,builder", MICRO, ids=[m[0] for m in MICRO])
+def test_microbenchmark_validates(name, builder, scheme):
+    result = run(builder(4), _config(scheme, 4))
+    assert result.cycles > 0
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+@pytest.mark.parametrize("num_cpus", [1, 2, 3, 8])
+def test_single_counter_odd_configurations(scheme, num_cpus):
+    result = run(single_counter(num_cpus, 128), _config(scheme, num_cpus))
+    assert result.cycles > 0
+
+
+@pytest.mark.parametrize("scheme",
+                         [SyncScheme.BASE, SyncScheme.TLR, SyncScheme.MCS],
+                         ids=lambda s: s.value)
+@pytest.mark.parametrize("app", sorted(ALL_APPS), ids=str)
+def test_application_validates(app, scheme):
+    workload = ALL_APPS[app](4)
+    result = run(workload, _config(scheme, 4))
+    assert result.cycles > 0
+
+
+@pytest.mark.parametrize("scheme",
+                         [SyncScheme.BASE, SyncScheme.TLR],
+                         ids=lambda s: s.value)
+def test_coarse_mp3d_validates(scheme):
+    result = run(mp3d(4, coarse=True), _config(scheme, 4))
+    assert result.cycles > 0
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_seed_variation_still_validates(seed):
+    result = run(single_counter(4, 256), _config(SyncScheme.TLR, 4, seed))
+    assert result.cycles > 0
+
+
+def test_determinism_same_seed_same_cycles():
+    first = run(linked_list(4, 128), _config(SyncScheme.TLR, 4, seed=7))
+    second = run(linked_list(4, 128), _config(SyncScheme.TLR, 4, seed=7))
+    assert first.cycles == second.cycles
+    assert first.stats.summary() == second.stats.summary()
+
+
+def test_different_seeds_usually_differ():
+    cycles = {run(single_counter(4, 128),
+                  _config(SyncScheme.TLR, 4, seed=s)).cycles
+              for s in range(4)}
+    assert len(cycles) > 1
+
+
+def test_more_threads_than_cpus_rejected():
+    with pytest.raises(ValueError):
+        run(single_counter(8, 64), _config(SyncScheme.BASE, 4))

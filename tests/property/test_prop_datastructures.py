@@ -1,0 +1,138 @@
+"""Property-based tests on the core data structures (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.coherence.cache import CacheArray
+from repro.coherence.memory import ValueStore
+from repro.coherence.messages import beats
+from repro.coherence.states import State
+from repro.cpu.isa import line_of
+from repro.cpu.writebuffer import WriteBuffer, WriteBufferOverflow
+from repro.harness.config import CacheConfig
+from repro.tlr.deferral import DeferredQueue
+from repro.tlr.timestamp import TimestampAuthority
+from repro.coherence.messages import BusRequest, ReqKind
+
+addresses = st.integers(min_value=0, max_value=511)
+values = st.integers(min_value=-2**31, max_value=2**31)
+
+
+class TestWriteBufferModel:
+    @given(ops=st.lists(st.tuples(addresses, values), max_size=80))
+    def test_matches_dict_model(self, ops):
+        buffer = WriteBuffer(capacity_lines=1 << 30)
+        model: dict[int, int] = {}
+        for addr, value in ops:
+            buffer.write(addr, value)
+            model[addr] = value
+        for addr in {a for a, _ in ops}:
+            assert buffer.read(addr) == model[addr]
+        store = ValueStore()
+        buffer.drain(store)
+        for addr, value in model.items():
+            assert store.read(addr) == value
+        assert not buffer
+
+    @given(ops=st.lists(st.tuples(addresses, values), min_size=1,
+                        max_size=200))
+    def test_capacity_is_exactly_unique_lines(self, ops):
+        lines = {line_of(a) for a, _ in ops}
+        buffer = WriteBuffer(capacity_lines=len(lines))
+        for addr, value in ops:   # must never overflow
+            buffer.write(addr, value)
+        tight = WriteBuffer(capacity_lines=len(lines) - 1) \
+            if len(lines) > 1 else None
+        if tight is not None:
+            overflowed = False
+            try:
+                for addr, value in ops:
+                    tight.write(addr, value)
+            except WriteBufferOverflow:
+                overflowed = True
+            assert overflowed
+
+
+class TestCacheModel:
+    @given(ops=st.lists(st.tuples(addresses,
+                                  st.sampled_from([State.SHARED,
+                                                   State.MODIFIED,
+                                                   State.EXCLUSIVE])),
+                        max_size=120))
+    @settings(max_examples=50)
+    def test_installed_lines_remain_findable_until_dropped(self, ops):
+        cache = CacheArray(CacheConfig(size_bytes=64 * 1024, assoc=4,
+                                       victim_entries=16))
+        # With 1024-line capacity and <=512 distinct addresses, nothing
+        # is ever evicted: every installed line must be found with the
+        # state it was last installed in.
+        last: dict[int, State] = {}
+        for addr, state in ops:
+            cache.install(addr, state)
+            last[addr] = state
+        for addr, state in last.items():
+            line = cache.lookup(addr)
+            assert line is not None and line.state is state
+
+    @given(ops=st.lists(addresses, min_size=1, max_size=300))
+    @settings(max_examples=50)
+    def test_small_cache_never_loses_pinned_lines(self, ops):
+        cache = CacheArray(CacheConfig(size_bytes=1024, assoc=2,
+                                       victim_entries=4))
+        pinned = ops[0]
+        cache.install(pinned, State.MODIFIED)
+        cache.pin(pinned)
+        for addr in ops[1:]:
+            if addr == pinned:
+                continue
+            try:
+                cache.install(addr, State.SHARED)
+            except Exception:
+                continue
+        assert cache.lookup(pinned) is not None
+        cache.unpin(pinned)
+
+
+class TestTimestampProperties:
+    @given(events=st.lists(
+        st.one_of(st.just("commit"),
+                  st.just("abandon"),
+                  st.tuples(st.integers(0, 100), st.integers(0, 15))),
+        max_size=60))
+    def test_clock_never_decreases(self, events):
+        authority = TimestampAuthority(cpu_id=0)
+        previous = authority.clock
+        for event in events:
+            authority.begin()
+            if event == "commit":
+                authority.commit()
+                assert authority.clock > previous
+                previous = authority.clock
+            elif event == "abandon":
+                authority.abandon()
+                assert authority.clock == previous
+            else:
+                authority.observe_conflict(event)
+
+    @given(clock_pairs=st.lists(st.tuples(st.integers(0, 50),
+                                          st.integers(0, 15),
+                                          st.integers(0, 50),
+                                          st.integers(0, 15)),
+                                max_size=60))
+    def test_priority_is_total_and_antisymmetric(self, clock_pairs):
+        for c1, p1, c2, p2 in clock_pairs:
+            a, b = (c1, p1), (c2, p2)
+            if a == b:
+                assert not beats(a, b) and not beats(b, a)
+            else:
+                assert beats(a, b) != beats(b, a)
+
+
+class TestDeferredQueueProperties:
+    @given(lines=st.lists(st.integers(0, 40), unique=True, max_size=20))
+    def test_drain_order_is_arrival_order(self, lines):
+        queue = DeferredQueue(capacity=64)
+        for i, line in enumerate(lines):
+            queue.push(BusRequest(ReqKind.GETX, line=line, requester=0,
+                                  ts=(i, 0)), now=i)
+        drained = [e.line for e in queue.drain()]
+        assert drained == lines

@@ -1,0 +1,94 @@
+"""End-to-end serializability properties (hypothesis).
+
+Random lock-based programs are generated and executed under every
+synchronization scheme; final memory must match the sequential
+specification.  Increment-only workloads have a unique serial outcome
+(any serializable schedule conserves the counts), so validation is
+exact without enumerating interleavings.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.harness.config import SyncScheme, SystemConfig
+from repro.harness.machine import Machine
+from repro.runtime.program import Workload
+from repro.sync.locks import FREE
+from repro.workloads.common import AddressSpace
+
+SCHEMES = [SyncScheme.BASE, SyncScheme.MCS, SyncScheme.SLE, SyncScheme.TLR,
+           SyncScheme.TLR_STRICT_TS]
+
+
+def _run_program(scheme, num_threads, plans, num_counters, seed):
+    """``plans[tid]`` is a list of (counter_index, in_cs_work) tuples:
+    each entry is one critical section incrementing that counter."""
+    space = AddressSpace()
+    lock = space.alloc_word()
+    counters = space.alloc_lines(num_counters)
+
+    def make_thread(tid):
+        def thread(env):
+            for counter_idx, work in plans[tid]:
+                counter = counters[counter_idx]
+
+                def body(env, counter=counter, work=work):
+                    value = yield env.read(counter, pc=f"p.{counter_idx}.ld")
+                    if work:
+                        yield env.compute(work)
+                    yield env.write(counter, value + 1,
+                                    pc=f"p.{counter_idx}.st")
+
+                yield from env.critical(lock, body, pc="p")
+                yield env.compute(env.fair_delay(lo=1, hi=40))
+
+        return thread
+
+    cfg = SystemConfig(num_cpus=num_threads, scheme=scheme, seed=seed,
+                       max_cycles=50_000_000)
+    machine = Machine(cfg)
+    workload = Workload(name="prop", threads=[make_thread(t)
+                                              for t in range(num_threads)],
+                        meta={"space": space})
+    machine.run_workload(workload)
+    return machine, lock, counters
+
+
+plan_entry = st.tuples(st.integers(0, 2), st.integers(0, 30))
+plans_strategy = st.lists(st.lists(plan_entry, max_size=8),
+                          min_size=2, max_size=4)
+
+
+@settings(max_examples=12, deadline=None)
+@given(plans=plans_strategy, seed=st.integers(0, 5))
+def test_tlr_conserves_all_increments(plans, seed):
+    _check(SyncScheme.TLR, plans, seed)
+
+
+@settings(max_examples=8, deadline=None)
+@given(plans=plans_strategy, seed=st.integers(0, 5))
+def test_strict_ts_conserves_all_increments(plans, seed):
+    _check(SyncScheme.TLR_STRICT_TS, plans, seed)
+
+
+@settings(max_examples=8, deadline=None)
+@given(plans=plans_strategy, seed=st.integers(0, 5))
+def test_sle_conserves_all_increments(plans, seed):
+    _check(SyncScheme.SLE, plans, seed)
+
+
+@settings(max_examples=6, deadline=None)
+@given(plans=plans_strategy, seed=st.integers(0, 3))
+def test_base_and_mcs_conserve_all_increments(plans, seed):
+    _check(SyncScheme.BASE, plans, seed)
+    _check(SyncScheme.MCS, plans, seed)
+
+
+def _check(scheme, plans, seed):
+    machine, lock, counters = _run_program(scheme, len(plans), plans, 3, seed)
+    expected = [0, 0, 0]
+    for plan in plans:
+        for counter_idx, _ in plan:
+            expected[counter_idx] += 1
+    got = [machine.store.read(c) for c in counters]
+    assert got == expected, f"{scheme}: {got} != {expected}"
+    assert machine.store.read(lock) == FREE

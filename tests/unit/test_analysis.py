@@ -1,0 +1,76 @@
+"""Tests for the post-run analysis utilities."""
+
+from repro.harness.analysis import (CommitLog, line_conflict_profile,
+                                    restart_reasons, summarize)
+from repro.harness.config import SyncScheme
+from repro.harness.machine import Machine
+from repro.sim.trace import Tracer
+from repro.workloads.microbench import linked_list, single_counter
+
+from tests.conftest import small_config
+
+
+def _run(scheme=SyncScheme.TLR, num_cpus=4, ops=256, builder=single_counter):
+    machine = Machine(small_config(num_cpus, scheme))
+    tracer = Tracer().attach(machine)
+    commit_log = CommitLog.attach(machine)
+    machine.run_workload(builder(num_cpus, ops))
+    return machine, tracer, commit_log
+
+
+class TestRestartReasons:
+    def test_contended_tlr_has_classified_restarts(self):
+        machine, _, _ = _run(builder=linked_list)
+        reasons = restart_reasons(machine.stats)
+        assert sum(reasons.values()) == machine.stats.restarts
+        assert all(isinstance(k, str) and v > 0 for k, v in reasons.items())
+
+    def test_base_has_no_restarts(self):
+        machine, _, _ = _run(scheme=SyncScheme.BASE)
+        assert restart_reasons(machine.stats) == {}
+
+
+class TestConflictProfile:
+    def test_counter_line_is_hottest(self):
+        machine, tracer, _ = _run()
+        profile = line_conflict_profile(tracer, top=1)
+        assert profile, "no conflict activity recorded"
+        hottest_line, counts = profile[0]
+        # The single shared counter lives on one line; it must dominate.
+        assert counts["defer"] + counts.get("service", 0) > 0
+
+    def test_top_parameter_limits(self):
+        machine, tracer, _ = _run(builder=linked_list)
+        assert len(line_conflict_profile(tracer, top=2)) <= 2
+
+
+class TestCommitLog:
+    def test_footprints_match_workload_shape(self):
+        machine, _, commit_log = _run()
+        histogram = commit_log.footprint_histogram()
+        # single-counter transactions write exactly one line.
+        assert set(histogram) == {1}
+        assert histogram[1] == 256
+
+    def test_linked_list_footprints_are_multi_line(self):
+        machine, _, commit_log = _run(builder=linked_list)
+        assert commit_log.max_written_lines() >= 2
+
+    def test_per_cpu_commits_cover_everyone(self):
+        machine, _, commit_log = _run()
+        assert set(commit_log.per_cpu_commits()) == {0, 1, 2, 3}
+
+    def test_empty_log(self):
+        log = CommitLog()
+        assert log.footprint_histogram() == {}
+        assert log.max_written_lines() == 0
+
+
+class TestSummarize:
+    def test_summary_mentions_key_figures(self):
+        machine, tracer, commit_log = _run()
+        text = summarize(machine, tracer, commit_log)
+        assert "cycles:" in text
+        assert "elisions committed: 256" in text
+        assert "hottest conflict lines:" in text
+        assert "commit footprints" in text

@@ -1,0 +1,72 @@
+"""Unit tests for system configuration."""
+
+import pytest
+
+from repro.harness.config import (BusConfig, CacheConfig, SpeculationConfig,
+                                  SyncScheme, SystemConfig)
+
+
+class TestSyncScheme:
+    def test_speculating_schemes(self):
+        assert SyncScheme.SLE.speculates
+        assert SyncScheme.TLR.speculates
+        assert SyncScheme.TLR_STRICT_TS.speculates
+        assert not SyncScheme.BASE.speculates
+        assert not SyncScheme.MCS.speculates
+
+    def test_tlr_schemes(self):
+        assert SyncScheme.TLR.is_tlr
+        assert SyncScheme.TLR_STRICT_TS.is_tlr
+        assert not SyncScheme.SLE.is_tlr
+
+    def test_paper_names(self):
+        assert SyncScheme.TLR.value == "BASE+SLE+TLR"
+        assert SyncScheme.SLE.value == "BASE+SLE"
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        cfg = CacheConfig(size_bytes=32 * 1024, assoc=4, line_bytes=64)
+        assert cfg.num_sets == 128
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=24 * 1024, assoc=4)
+
+
+class TestSystemConfig:
+    def test_defaults_match_paper_table2_shape(self):
+        cfg = SystemConfig()
+        assert cfg.num_cpus == 16
+        assert cfg.bus.snoop_latency == 20
+        assert cfg.bus.max_outstanding == 120
+        assert cfg.memory.l2_latency == 12
+        assert cfg.memory.dram_latency == 70
+        assert cfg.memory.data_latency == 20
+        assert cfg.spec.write_buffer_entries == 64
+        assert cfg.spec.elision_depth == 8
+        assert cfg.spec.rmw_predictor_entries == 128
+        assert cfg.spec.store_pair_predictor_entries == 64
+        assert cfg.cache.victim_entries == 16
+
+    def test_with_scheme_copies(self):
+        base = SystemConfig(scheme=SyncScheme.BASE)
+        tlr = base.with_scheme(SyncScheme.TLR)
+        assert base.scheme is SyncScheme.BASE
+        assert tlr.scheme is SyncScheme.TLR
+        assert tlr.spec is not base.spec
+
+    def test_strict_ts_disables_relaxation(self):
+        cfg = SystemConfig().with_scheme(SyncScheme.TLR_STRICT_TS)
+        assert not cfg.spec.single_block_relaxation
+        # and the direct-construction path agrees
+        direct = SystemConfig(scheme=SyncScheme.TLR_STRICT_TS)
+        assert not direct.spec.single_block_relaxation
+
+    def test_plain_tlr_keeps_relaxation(self):
+        cfg = SystemConfig().with_scheme(SyncScheme.TLR)
+        assert cfg.spec.single_block_relaxation
+
+    def test_zero_cpus_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_cpus=0)

@@ -1,0 +1,158 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import DeadlockError, Simulator, SimulationError
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(30, fired.append, "c")
+    sim.schedule(10, fired.append, "a")
+    sim.schedule(20, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_cycle_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(5):
+        sim.schedule(7, fired.append, tag)
+    sim.run()
+    assert fired == list(range(5))
+
+
+def test_now_advances_with_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5, lambda: seen.append(sim.now))
+    sim.schedule(12, lambda: seen.append(sim.now))
+    end = sim.run()
+    assert seen == [5, 12]
+    assert end == 12
+
+
+def test_zero_delay_runs_after_current_cycle_events():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(0, fired.append, "chained")
+
+    sim.schedule(1, first)
+    sim.schedule(1, fired.append, "second")
+    sim.run()
+    assert fired == ["first", "second", "chained"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(5, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.events_fired == 0
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(5, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+
+
+def test_events_fired_counts_live_events_only():
+    sim = Simulator()
+    sim.schedule(1, lambda: None)
+    dead = sim.schedule(2, lambda: None)
+    dead.cancel()
+    sim.schedule(3, lambda: None)
+    sim.run()
+    assert sim.events_fired == 2
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append(("outer", sim.now))
+        sim.schedule(10, lambda: fired.append(("inner", sim.now)))
+
+    sim.schedule(3, outer)
+    sim.run()
+    assert fired == [("outer", 3), ("inner", 13)]
+
+
+def test_run_until_pauses_and_resumes():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5, fired.append, "early")
+    sim.schedule(50, fired.append, "late")
+    sim.run(until=10)
+    assert fired == ["early"]
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_max_cycles_overrun_raises():
+    sim = Simulator(max_cycles=10)
+    sim.schedule(100, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_deadlock_detection_with_incomplete_actor():
+    class Actor:
+        done = False
+
+        def __repr__(self):
+            return "<stuck>"
+
+    sim = Simulator()
+    sim.add_actor(Actor())
+    sim.schedule(1, lambda: None)
+    with pytest.raises(DeadlockError, match="stuck"):
+        sim.run()
+
+
+def test_clean_finish_with_completed_actor():
+    class Actor:
+        done = False
+
+    actor = Actor()
+    sim = Simulator()
+    sim.add_actor(actor)
+
+    def finish():
+        actor.done = True
+
+    sim.schedule(4, finish)
+    assert sim.run() == 4
+
+
+def test_pending_excludes_cancelled():
+    sim = Simulator()
+    sim.schedule(1, lambda: None)
+    dead = sim.schedule(2, lambda: None)
+    dead.cancel()
+    assert sim.pending() == 1
+
+
+def test_arguments_passed_to_callback():
+    sim = Simulator()
+    got = []
+    sim.schedule(1, lambda a, b: got.append((a, b)), 1, "two")
+    sim.run()
+    assert got == [(1, "two")]

@@ -1,0 +1,124 @@
+"""Unit tests for workload construction: address space, microbenchmark
+builders, application kernels (structure, determinism, validators)."""
+
+import pytest
+
+from repro.coherence.memory import ValueStore
+from repro.cpu.isa import WORDS_PER_LINE, line_of
+from repro.workloads.apps import (ALL_APPS, barnes, cholesky, mp3d,
+                                  ocean_cont, radiosity, raytrace,
+                                  water_nsq)
+from repro.workloads.common import AddressSpace
+from repro.workloads.microbench import (linked_list, multiple_counter,
+                                        single_counter)
+
+
+class TestAddressSpace:
+    def test_alloc_line_is_line_aligned_and_fresh(self):
+        space = AddressSpace()
+        a = space.alloc_line()
+        b = space.alloc_line()
+        assert a % WORDS_PER_LINE == 0
+        assert line_of(a) != line_of(b)
+
+    def test_alloc_word_padded_by_default(self):
+        space = AddressSpace()
+        a = space.alloc_word()
+        b = space.alloc_word()
+        assert line_of(a) != line_of(b)
+
+    def test_alloc_word_unpadded_packs(self):
+        space = AddressSpace()
+        a = space.alloc_word(padded=False)
+        b = space.alloc_word(padded=False)
+        assert b == a + 1
+
+    def test_alloc_block_contiguous(self):
+        space = AddressSpace()
+        base = space.alloc_block(5)
+        nxt = space.alloc_line()
+        assert line_of(nxt) > line_of(base + 4)
+
+    def test_address_zero_never_allocated(self):
+        space = AddressSpace()
+        for _ in range(10):
+            assert space.alloc_word() != 0
+
+
+class TestMicrobenchBuilders:
+    def test_multiple_counter_structure(self):
+        workload = multiple_counter(4, total_increments=100)
+        assert workload.num_threads == 4
+        assert workload.meta["iters"] == 25
+        assert len(workload.lock_addrs) == 1
+
+    def test_single_counter_minimum_one_iteration(self):
+        workload = single_counter(8, total_increments=4)
+        assert workload.meta["iters"] == 1
+
+    def test_linked_list_default_items_scale_with_threads(self):
+        workload = linked_list(6, total_ops=60)
+        assert workload.num_threads == 6
+
+    def test_validators_reject_wrong_memory(self):
+        # An all-zero image (counters never incremented) must fail the
+        # functional check for every microbenchmark.
+        for workload in (single_counter(2, 8), multiple_counter(2, 8),
+                         linked_list(2, 8)):
+            with pytest.raises(AssertionError):
+                workload.check(ValueStore())
+
+    def test_single_counter_validator_accepts_correct_memory(self):
+        workload = single_counter(2, total_increments=8)
+        store = ValueStore()
+        store.write(workload.meta["counter"], 8)
+        workload.check(store)  # exact expected value: no exception
+
+
+class TestAppBuilders:
+    @pytest.mark.parametrize("name", sorted(ALL_APPS))
+    def test_builders_produce_named_workloads(self, name):
+        workload = ALL_APPS[name](4)
+        assert workload.name == name
+        assert workload.num_threads == 4
+        assert workload.lock_addrs
+
+    def test_choices_are_deterministic(self):
+        a = barnes(4)
+        b = barnes(4)
+        # Same construction twice: same address layout and same
+        # expected-hit bookkeeping (meta carries the region count).
+        assert a.meta["regions"] == b.meta["regions"]
+        assert a.lock_addrs == b.lock_addrs
+
+    def test_water_scales_locks_with_threads(self):
+        few = water_nsq(2)
+        many = water_nsq(8)
+        assert len(many.lock_addrs) > len(few.lock_addrs)
+
+    def test_mp3d_coarse_single_lock(self):
+        fine = mp3d(4)
+        coarse = mp3d(4, coarse=True)
+        assert len(fine.lock_addrs) > 1
+        assert len(coarse.lock_addrs) == 1
+        assert coarse.name == "mp3d-coarse"
+
+    def test_cholesky_meta(self):
+        workload = cholesky(4, scale=5, columns=8)
+        assert workload.meta["tasks"] == 20
+        assert workload.meta["columns"] == 8
+
+    def test_radiosity_has_hot_region(self):
+        workload = radiosity(4)
+        assert workload.meta["regions"] == 3
+
+    def test_barnes_tree_cells(self):
+        workload = barnes(4, tree_cells=7)
+        assert workload.meta["regions"] == 7
+
+    @pytest.mark.parametrize("builder", [ocean_cont, raytrace],
+                             ids=["ocean", "raytrace"])
+    def test_zero_validation_fails(self, builder):
+        workload = builder(2)
+        with pytest.raises(AssertionError):
+            workload.check(ValueStore())

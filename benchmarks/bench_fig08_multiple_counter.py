@@ -10,14 +10,15 @@ from repro.harness.config import SyncScheme
 from repro.harness.experiments import figure8_multiple_counter
 from repro.harness.report import ascii_series, sweep_table
 
-from conftest import emit, processor_counts, scale
+from conftest import emit, engine_kwargs, processor_counts, scale
 
 
 def test_figure8(benchmark):
     result = benchmark.pedantic(
         figure8_multiple_counter,
         kwargs={"total_increments": 1024 * scale(),
-                "processor_counts": processor_counts()},
+                "processor_counts": processor_counts(),
+                **engine_kwargs()},
         rounds=1, iterations=1)
     emit("figure8-multiple-counter",
          sweep_table(result) + "\n\n" + ascii_series(result))

@@ -12,14 +12,15 @@ from repro.harness.config import SyncScheme
 from repro.harness.experiments import figure9_single_counter
 from repro.harness.report import ascii_series, sweep_table
 
-from conftest import emit, processor_counts, scale
+from conftest import emit, engine_kwargs, processor_counts, scale
 
 
 def test_figure9(benchmark):
     result = benchmark.pedantic(
         figure9_single_counter,
         kwargs={"total_increments": 512 * scale(),
-                "processor_counts": processor_counts()},
+                "processor_counts": processor_counts(),
+                **engine_kwargs()},
         rounds=1, iterations=1)
     emit("figure9-single-counter",
          sweep_table(result) + "\n\n" + ascii_series(result))

@@ -9,14 +9,15 @@ from repro.harness.config import SyncScheme
 from repro.harness.experiments import figure10_linked_list
 from repro.harness.report import ascii_series, sweep_table
 
-from conftest import emit, processor_counts, scale
+from conftest import emit, engine_kwargs, processor_counts, scale
 
 
 def test_figure10(benchmark):
     result = benchmark.pedantic(
         figure10_linked_list,
         kwargs={"total_ops": 512 * scale(),
-                "processor_counts": processor_counts()},
+                "processor_counts": processor_counts(),
+                **engine_kwargs()},
         rounds=1, iterations=1)
     emit("figure10-linked-list",
          sweep_table(result) + "\n\n" + ascii_series(result))

@@ -12,12 +12,12 @@ from repro.harness.config import SyncScheme
 from repro.harness.experiments import figure11_applications
 from repro.harness.report import figure11_table, speedup_summary
 
-from conftest import emit
+from conftest import emit, engine_kwargs
 
 
 def test_figure11(benchmark):
     results = benchmark.pedantic(figure11_applications,
-                                 kwargs={"num_cpus": 16},
+                                 kwargs={"num_cpus": 16, **engine_kwargs()},
                                  rounds=1, iterations=1)
     emit("figure11-applications",
          figure11_table(results) + "\n" + speedup_summary(results))

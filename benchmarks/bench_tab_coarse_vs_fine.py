@@ -10,12 +10,12 @@ memory behaviour) -- the paper reports coarse-TLR beating fine-BASE by
 from repro.harness.experiments import table_coarse_vs_fine
 from repro.harness.report import dict_table
 
-from conftest import emit
+from conftest import emit, engine_kwargs
 
 
 def test_coarse_vs_fine(benchmark):
     result = benchmark.pedantic(table_coarse_vs_fine,
-                                kwargs={"num_cpus": 16},
+                                kwargs={"num_cpus": 16, **engine_kwargs()},
                                 rounds=1, iterations=1)
     emit("table-coarse-vs-fine", dict_table(result))
     benchmark.extra_info.update(

@@ -9,12 +9,12 @@ BASE case highly optimized and TLR's reported gains conservative.
 from repro.harness.experiments import table_rmw_predictor
 from repro.harness.report import dict_table
 
-from conftest import emit
+from conftest import emit, engine_kwargs
 
 
 def test_rmw_predictor(benchmark):
     result = benchmark.pedantic(table_rmw_predictor,
-                                kwargs={"num_cpus": 16},
+                                kwargs={"num_cpus": 16, **engine_kwargs()},
                                 rounds=1, iterations=1)
     emit("table-rmw-predictor", dict_table(result, "BASE / BASE-no-opt"))
     benchmark.extra_info.update(result)

@@ -9,6 +9,11 @@ consumption, and writes a text artifact under ``benchmarks/out/``.
 Scale knobs: ``REPRO_BENCH_SCALE`` (default 1) multiplies workload
 sizes; ``REPRO_BENCH_FULL=1`` switches to the full processor-count sweep
 (2..16 in steps of 2) instead of the quick {2,4,8,16}.
+
+Engine knobs: ``REPRO_BENCH_JOBS`` (default 1) fans each sweep's
+independent runs out over worker processes (results are bit-identical
+to serial); ``REPRO_BENCH_CACHE=1`` enables the on-disk result cache
+(off by default so benchmark timings always measure real simulation).
 """
 
 from __future__ import annotations
@@ -21,6 +26,16 @@ OUT_DIR = Path(__file__).parent / "out"
 
 def scale() -> int:
     return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+def jobs() -> int:
+    return max(0, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
+def engine_kwargs() -> dict:
+    """Uniform sweep-engine arguments for every figure/table benchmark."""
+    return {"jobs": jobs(),
+            "cache": bool(os.environ.get("REPRO_BENCH_CACHE"))}
 
 
 def processor_counts() -> tuple[int, ...]:

@@ -17,9 +17,12 @@ Typical use::
     print(result.cycles, result.stats.summary())
 """
 
+from repro.harness.cache import ResultCache
 from repro.harness.config import SyncScheme, SystemConfig
 from repro.harness.machine import Machine
-from repro.harness.runner import RunResult, compare_schemes, run, run_scheme
+from repro.harness.parallel import FailedRun, SweepTelemetry, run
+from repro.harness.runner import RunResult, compare_schemes, run_scheme
+from repro.harness.spec import ExperimentSpec, RunSpec
 from repro.runtime.env import ThreadEnv
 from repro.runtime.program import ValidationError, Workload
 
@@ -28,6 +31,8 @@ __version__ = "1.0.0"
 __all__ = [
     "SystemConfig", "SyncScheme", "Machine", "RunResult",
     "run", "run_scheme", "compare_schemes",
+    "RunSpec", "ExperimentSpec", "ResultCache", "FailedRun",
+    "SweepTelemetry",
     "ThreadEnv", "Workload", "ValidationError",
     "__version__",
 ]

@@ -3,46 +3,64 @@
 Regenerates any of the paper's figures/tables from a terminal without
 writing code, and runs individual workloads under chosen schemes::
 
-    python -m repro figure9 --procs 2,4,8,16
-    python -m repro figure11 --cpus 16
+    python -m repro figure9 --procs 2,4,8,16 --jobs 4
+    python -m repro figure11 --cpus 16 --json
     python -m repro run single-counter --scheme TLR --cpus 8 --ops 2048
     python -m repro coarse-vs-fine
     python -m repro list
+
+Every experiment accepts the sweep-engine options:
+
+``--jobs N``       fan independent runs out over N worker processes
+                   (default 1 = serial; results are bit-identical
+                   either way);
+``--timeout S``    per-run wall-clock budget in seconds (livelocked
+                   runs are retried with bumped seeds, then reported
+                   as failures without aborting the sweep);
+``--json``         emit the result as JSON (stable ``to_dict`` schema)
+                   instead of tables;
+``--no-cache``     disable the on-disk result cache;
+``--cache-dir D``  cache location (default ``$REPRO_CACHE_DIR`` or
+                   ``~/.cache/repro-tlr``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Optional
+from typing import Optional
 
-from repro.harness import experiments, report
-from repro.harness.config import SyncScheme, SystemConfig
-from repro.harness.runner import run as run_workload
-from repro.workloads.apps import ALL_APPS, mp3d
-from repro.workloads.microbench import (linked_list, multiple_counter,
-                                        single_counter)
+from repro.harness import experiments, parallel, report
+from repro.harness.config import SystemConfig
+from repro.harness.parallel import FailedRun
+from repro.harness.spec import (SIZE_PARAM, WORKLOAD_BUILDERS, RunSpec,
+                                scheme_from_str)
 
-WORKLOADS: dict[str, Callable] = {
-    "multiple-counter": multiple_counter,
-    "single-counter": single_counter,
-    "linked-list": linked_list,
-    **ALL_APPS,
-    "mp3d-coarse": lambda n, scale=None: (
-        mp3d(n, scale, coarse=True) if scale else mp3d(n, coarse=True)),
-}
-
-SCHEME_ALIASES = {
-    "BASE": SyncScheme.BASE,
-    "SLE": SyncScheme.SLE,
-    "TLR": SyncScheme.TLR,
-    "TLR-STRICT-TS": SyncScheme.TLR_STRICT_TS,
-    "MCS": SyncScheme.MCS,
-}
+SCHEME_ALIASES = ("BASE", "SLE", "TLR", "TLR-STRICT-TS", "MCS")
 
 
 def _parse_procs(text: str) -> tuple[int, ...]:
     return tuple(int(part) for part in text.split(","))
+
+
+def _engine_opts(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (0 = one per CPU)")
+    cmd.add_argument("--timeout", type=float, default=None,
+                     help="per-run wall-clock budget in seconds")
+    cmd.add_argument("--json", action="store_true",
+                     help="emit the result as JSON")
+    cmd.add_argument("--no-cache", action="store_true",
+                     help="disable the on-disk result cache")
+    cmd.add_argument("--cache-dir", type=str, default=None,
+                     help="result cache directory (default "
+                          "$REPRO_CACHE_DIR or ~/.cache/repro-tlr)")
+
+
+def _engine_kwargs(args) -> dict:
+    cache = False if args.no_cache else (args.cache_dir or True)
+    return {"jobs": args.jobs, "timeout": args.timeout, "cache": cache}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -61,6 +79,7 @@ def _build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--seed", type=int, default=0)
         cmd.add_argument("--plot", action="store_true",
                          help="also draw an ascii plot")
+        _engine_opts(cmd)
         return cmd
 
     sweep_cmd("figure8", "multiple-counter sweep (coarse/no-conflicts)")
@@ -70,17 +89,21 @@ def _build_parser() -> argparse.ArgumentParser:
     fig7 = sub.add_parser("figure7", help="queue-on-data intuition")
     fig7.add_argument("--cpus", type=int, default=4)
     fig7.add_argument("--ops", type=int, default=256)
+    _engine_opts(fig7)
 
     fig11 = sub.add_parser("figure11", help="application suite")
     fig11.add_argument("--cpus", type=int, default=16)
     fig11.add_argument("--apps", type=str, default=None,
                        help="comma-separated subset of app names")
+    _engine_opts(fig11)
 
-    sub.add_parser("coarse-vs-fine", help="mp3d lock granularity")
-    sub.add_parser("rmw-predictor", help="BASE vs BASE-no-opt")
+    _engine_opts(sub.add_parser("coarse-vs-fine",
+                                help="mp3d lock granularity"))
+    _engine_opts(sub.add_parser("rmw-predictor",
+                                help="BASE vs BASE-no-opt"))
 
     runner = sub.add_parser("run", help="run one workload")
-    runner.add_argument("workload", choices=sorted(WORKLOADS))
+    runner.add_argument("workload", choices=sorted(WORKLOAD_BUILDERS))
     runner.add_argument("--scheme", type=str, default="TLR",
                         help="|".join(SCHEME_ALIASES))
     runner.add_argument("--cpus", type=int, default=8)
@@ -89,6 +112,7 @@ def _build_parser() -> argparse.ArgumentParser:
                              "microbenchmarks, iterations per thread for "
                              "the application kernels")
     runner.add_argument("--seed", type=int, default=0)
+    _engine_opts(runner)
 
     sub.add_parser("list", help="list workloads and schemes")
     return parser
@@ -98,9 +122,25 @@ def _config(seed: int = 0) -> SystemConfig:
     return SystemConfig(seed=seed)
 
 
+def _emit_sweep(result, args) -> int:
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(report.sweep_table(result))
+    if result.failures:
+        print(report.failures_table(result.failures))
+    if args.plot:
+        print()
+        print(report.ascii_series(result))
+    telemetry = report.telemetry_line(result.extra.get("telemetry"))
+    if telemetry:
+        print(telemetry, file=sys.stderr)
+    return 0
+
+
 def _do_sweep(args, name: str) -> int:
     kwargs = {"processor_counts": args.procs,
-              "config": _config(args.seed)}
+              "config": _config(args.seed), **_engine_kwargs(args)}
     if name == "figure8":
         if args.ops:
             kwargs["total_increments"] = args.ops
@@ -113,11 +153,13 @@ def _do_sweep(args, name: str) -> int:
         if args.ops:
             kwargs["total_ops"] = args.ops
         result = experiments.figure10_linked_list(**kwargs)
-    print(report.sweep_table(result))
-    if args.plot:
-        print()
-        print(report.ascii_series(result))
-    return 0
+    return _emit_sweep(result, args)
+
+
+def _print_telemetry() -> None:
+    line = report.telemetry_line(experiments.last_telemetry())
+    if line:
+        print(line, file=sys.stderr)
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -125,7 +167,7 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     if args.command == "list":
         print("workloads:")
-        for name in sorted(WORKLOADS):
+        for name in sorted(WORKLOAD_BUILDERS):
             print(f"  {name}")
         print("schemes:", " ".join(SCHEME_ALIASES))
         return 0
@@ -135,26 +177,47 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     if args.command == "figure7":
         result = experiments.figure7_queue_on_data(
-            num_cpus=args.cpus, total_increments=args.ops)
-        print(report.dict_table(result, "figure 7: queue on data (TLR)"))
+            num_cpus=args.cpus, total_increments=args.ops,
+            **_engine_kwargs(args))
+        if args.json:
+            print(json.dumps(result, indent=2))
+        else:
+            print(report.dict_table(result, "figure 7: queue on data (TLR)"))
+            _print_telemetry()
         return 0
 
     if args.command == "figure11":
         apps = args.apps.split(",") if args.apps else None
-        results = experiments.figure11_applications(num_cpus=args.cpus,
-                                                    apps=apps)
+        results = experiments.figure11_applications(
+            num_cpus=args.cpus, apps=apps, **_engine_kwargs(args))
+        if args.json:
+            print(json.dumps({name: app.to_dict()
+                              for name, app in results.items()}, indent=2))
+            return 0
         print(report.figure11_table(results))
         print(report.speedup_summary(results))
+        for app in results.values():
+            if app.failures:
+                print(report.failures_table(app.failures), file=sys.stderr)
+        _print_telemetry()
         return 0
 
     if args.command == "coarse-vs-fine":
-        print(report.dict_table(experiments.table_coarse_vs_fine(),
-                                "mp3d: coarse vs fine grain"))
+        result = experiments.table_coarse_vs_fine(**_engine_kwargs(args))
+        if args.json:
+            print(json.dumps(result, indent=2))
+        else:
+            print(report.dict_table(result, "mp3d: coarse vs fine grain"))
+            _print_telemetry()
         return 0
 
     if args.command == "rmw-predictor":
-        print(report.dict_table(experiments.table_rmw_predictor(),
-                                "BASE / BASE-no-opt"))
+        result = experiments.table_rmw_predictor(**_engine_kwargs(args))
+        if args.json:
+            print(json.dumps(result, indent=2))
+        else:
+            print(report.dict_table(result, "BASE / BASE-no-opt"))
+            _print_telemetry()
         return 0
 
     if args.command == "run":
@@ -163,16 +226,25 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(f"unknown scheme {args.scheme}; one of "
                   f"{' '.join(SCHEME_ALIASES)}", file=sys.stderr)
             return 2
-        scheme = SCHEME_ALIASES[scheme_name]
-        builder = WORKLOADS[args.workload]
-        workload = (builder(args.cpus, args.ops) if args.ops is not None
-                    else builder(args.cpus))
+        scheme = scheme_from_str(scheme_name.replace("-", "_"))
+        workload_args = ({SIZE_PARAM[args.workload]: args.ops}
+                         if args.ops is not None else {})
         config = SystemConfig(num_cpus=args.cpus, scheme=scheme,
                               seed=args.seed)
-        result = run_workload(workload, config)
+        spec = RunSpec(workload=args.workload, config=config,
+                       workload_args=workload_args)
+        outcome = parallel.run(spec, timeout=args.timeout,
+                               cache=_engine_kwargs(args)["cache"])
+        if isinstance(outcome, FailedRun):
+            print(f"run failed after {outcome.attempts} attempts: "
+                  f"{outcome.error}: {outcome.message}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(outcome.to_dict(), indent=2))
+            return 0
         print(f"{args.workload} under {scheme.value} on {args.cpus} CPUs:")
-        print(f"  cycles: {result.cycles}")
-        for key, value in result.stats.summary().items():
+        print(f"  cycles: {outcome.cycles}")
+        for key, value in outcome.stats.summary().items():
             print(f"  {key}: {value}")
         return 0
 

@@ -1,13 +1,30 @@
-"""Experiment harness: configuration, machine building, runners."""
+"""Experiment harness: configuration, machine building, runners.
+
+``run`` is the unified experiment API (see
+:func:`repro.harness.parallel.run`): it executes a
+:class:`~repro.harness.spec.RunSpec`, a registered experiment name
+("figure9", ...), an :class:`~repro.harness.spec.ExperimentSpec`, or a
+raw :class:`~repro.runtime.program.Workload`, with keyword-only engine
+options ``jobs``/``timeout``/``cache``/``validate``/``retries``.  The
+old per-style entry points (``runner.run``, ``run_scheme``,
+``compare_schemes``) remain as deprecated shims.
+"""
 
 from repro.harness.config import (BusConfig, CacheConfig, MemoryConfig,
                                   SpeculationConfig, SyncScheme, SystemConfig)
+from repro.harness.cache import ResultCache, default_cache_dir
 from repro.harness.machine import Machine
-from repro.harness.runner import (RunResult, compare_schemes, run, run_scheme)
+from repro.harness.parallel import (FailedRun, RunTimeout, SweepTelemetry,
+                                    execute, run)
+from repro.harness.runner import (RunResult, compare_schemes, run_scheme)
+from repro.harness.spec import EXPERIMENTS, ExperimentSpec, RunSpec
 from repro.harness import analysis, experiments, report
 
 __all__ = [
     "SystemConfig", "SyncScheme", "CacheConfig", "BusConfig", "MemoryConfig",
     "SpeculationConfig", "Machine", "RunResult", "run", "run_scheme",
     "compare_schemes", "experiments", "report", "analysis",
+    "RunSpec", "ExperimentSpec", "EXPERIMENTS", "ResultCache",
+    "default_cache_dir", "FailedRun", "RunTimeout", "SweepTelemetry",
+    "execute",
 ]

@@ -1,0 +1,125 @@
+"""On-disk result cache for the sweep engine.
+
+Successful runs are stored as one JSON file per
+:meth:`~repro.harness.spec.RunSpec.fingerprint` under a cache root
+(``$REPRO_CACHE_DIR``, default ``~/.cache/repro-tlr``).  Re-running a
+figure then only simulates configurations whose fingerprint changed --
+a different workload size, scheme, processor count, seed, or any other
+:class:`~repro.harness.config.SystemConfig` field.
+
+Only *successful* runs are cached: a livelocked or timed-out run may
+succeed under a larger wall-clock ``timeout``, which is deliberately
+not part of the fingerprint.
+
+Entries are written atomically (temp file + rename) so concurrent
+sweeps sharing a cache directory never observe torn JSON; unreadable
+or stale-schema entries are treated as misses and dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-tlr``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-tlr"
+
+
+class ResultCache:
+    """Fingerprint-keyed store of serialized run results."""
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, fingerprint: str) -> Path:
+        # Two-level fan-out keeps directories small on big sweeps.
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[dict]:
+        """The cached payload for ``fingerprint``, or ``None``.
+
+        A corrupt or undecodable entry counts as a miss and is removed.
+        """
+        path = self._path(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            self.invalidate(fingerprint)
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, fingerprint: str, payload: dict) -> None:
+        """Atomically persist ``payload`` under ``fingerprint``."""
+        path = self._path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop one entry; returns whether anything was removed."""
+        try:
+            self._path(fingerprint).unlink()
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+def resolve_cache(cache) -> Optional[ResultCache]:
+    """Normalize the public ``cache=`` argument.
+
+    ``None``/``False`` disable caching, ``True`` uses the default
+    directory, a path selects a directory, and a :class:`ResultCache`
+    is used as-is.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)

@@ -1,24 +1,39 @@
 """One entry point per paper figure/table (the per-experiment index of
 DESIGN.md).
 
-Each ``figure_*``/``table_*`` function runs the full parameter sweep the
-paper's plot covers and returns a structured result that
-:mod:`repro.harness.report` can print as the same rows/series the paper
-reports.  Workload sizes default to simulator scale (see EXPERIMENTS.md)
-but accept overrides so the benchmarks can run quick or thorough.
+Each ``figure_*``/``table_*`` function plans the full parameter sweep
+the paper's plot covers as a list of
+:class:`~repro.harness.spec.RunSpec`, hands it to the parallel sweep
+engine (:mod:`repro.harness.parallel`), and assembles the structured
+result that :mod:`repro.harness.report` prints as the same rows/series
+the paper reports.  All of them accept the uniform engine keywords --
+``jobs`` (worker processes; 1 = serial, the determinism baseline),
+``timeout`` (per-run wall-clock seconds), ``cache`` (result cache),
+``retries`` (livelock retries) and ``validate`` -- and are registered
+in :data:`repro.harness.spec.EXPERIMENTS`, so
+``repro.harness.run("figure9", jobs=4)`` is equivalent to calling the
+function directly.
+
+Workload sizes default to simulator scale (see EXPERIMENTS.md) but
+accept overrides so the benchmarks can run quick or thorough.
+
+A run that livelocks past its retries appears as a ``None`` in the
+sweep series plus a :class:`~repro.harness.parallel.FailedRun` in
+``SweepResult.failures`` instead of aborting the whole sweep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
+from repro.harness import parallel
 from repro.harness.config import SyncScheme, SystemConfig
-from repro.harness.runner import RunResult, run
-from repro.runtime.program import Workload
-from repro.workloads.apps import ALL_APPS, mp3d
-from repro.workloads.microbench import (linked_list, multiple_counter,
-                                        single_counter)
+from repro.harness.parallel import FailedRun
+from repro.harness.runner import RunResult
+from repro.harness.spec import (RunSpec, register_experiment,
+                                scheme_from_str, scheme_to_str)
+from repro.workloads.apps import ALL_APPS
 
 MICRO_SCHEMES = (SyncScheme.BASE, SyncScheme.MCS, SyncScheme.SLE,
                  SyncScheme.TLR)
@@ -26,23 +41,92 @@ APP_SCHEMES = (SyncScheme.BASE, SyncScheme.SLE, SyncScheme.TLR,
                SyncScheme.MCS)
 DEFAULT_PROCESSOR_COUNTS = (2, 4, 6, 8, 10, 12, 14, 16)
 
+#: Telemetry of the most recent engine invocation made by this module
+#: (set by every ``figure_*``/``table_*`` call; the CLI prints it).
+_LAST_TELEMETRY: Optional[dict] = None
+
+
+def last_telemetry() -> Optional[dict]:
+    """Telemetry dict of the most recent experiment sweep, if any."""
+    return _LAST_TELEMETRY
+
+
+class SweepLookupError(KeyError, ValueError):
+    """A sweep was asked for a point it does not contain.
+
+    Subclasses both :class:`KeyError` (lookup semantics) and
+    :class:`ValueError` (what ``list.index`` historically raised here).
+    """
+
 
 @dataclass
 class SweepResult:
-    """One microbenchmark figure: cycles[scheme][processor_count]."""
+    """One microbenchmark figure: cycles[scheme][processor_count].
+
+    A series slot is ``None`` when that configuration failed (see
+    ``failures``); ``extra["telemetry"]`` carries the engine telemetry
+    of the sweep that produced it.
+    """
 
     name: str
     processor_counts: list[int]
-    series: dict[SyncScheme, list[int]] = field(default_factory=dict)
+    series: dict[SyncScheme, list[Optional[int]]] = field(
+        default_factory=dict)
     extra: dict[str, dict] = field(default_factory=dict)
+    failures: list[FailedRun] = field(default_factory=list)
 
     def cycles(self, scheme: SyncScheme, num_cpus: int) -> int:
-        return self.series[scheme][self.processor_counts.index(num_cpus)]
+        if scheme not in self.series:
+            raise SweepLookupError(
+                f"sweep {self.name!r} has no series for scheme "
+                f"{getattr(scheme, 'value', scheme)!r}; available schemes: "
+                f"{[s.value for s in self.series]}")
+        if num_cpus not in self.processor_counts:
+            raise SweepLookupError(
+                f"sweep {self.name!r} has no run at {num_cpus} processors "
+                f"for scheme {scheme.value!r}; available processor counts: "
+                f"{self.processor_counts}")
+        value = self.series[scheme][self.processor_counts.index(num_cpus)]
+        if value is None:
+            raise SweepLookupError(
+                f"run ({scheme.value!r}, {num_cpus} cpus) of sweep "
+                f"{self.name!r} failed (see SweepResult.failures)")
+        return value
+
+    # -- serialization (stable public contract) ------------------------
+    def to_dict(self) -> dict:
+        # "telemetry" is machine-timing metadata (wall clock, worker
+        # count), not part of the result: keeping it out of the stable
+        # form preserves jobs=N output being bit-identical to jobs=1.
+        extra = {k: v for k, v in self.extra.items() if k != "telemetry"}
+        return {
+            "name": self.name,
+            "processor_counts": list(self.processor_counts),
+            "series": {scheme_to_str(s): list(v)
+                       for s, v in self.series.items()},
+            "failures": [f.to_dict() for f in self.failures],
+            "extra": extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepResult":
+        return cls(
+            name=data["name"],
+            processor_counts=list(data["processor_counts"]),
+            series={scheme_from_str(k): list(v)
+                    for k, v in (data.get("series") or {}).items()},
+            extra=dict(data.get("extra") or {}),
+            failures=[FailedRun.from_dict(f)
+                      for f in (data.get("failures") or [])])
 
 
 @dataclass
 class AppResult:
-    """One application's Figure 11 bars plus MCS comparison."""
+    """One application's Figure 11 bars plus MCS comparison.
+
+    A scheme whose run failed is absent from the per-scheme dicts and
+    recorded in ``failures``.
+    """
 
     name: str
     cycles: dict[SyncScheme, int]
@@ -50,6 +134,7 @@ class AppResult:
     restarts: dict[SyncScheme, int]
     resource_fallbacks: dict[SyncScheme, int]
     critical_sections: dict[SyncScheme, int]
+    failures: list[FailedRun] = field(default_factory=list)
 
     def speedup(self, scheme: SyncScheme,
                 over: SyncScheme = SyncScheme.BASE) -> float:
@@ -66,69 +151,170 @@ class AppResult:
                          / max(1, self.cycles[scheme]))
         return total * lock_share, total * (1.0 - lock_share)
 
+    # -- serialization (stable public contract) ------------------------
+    def to_dict(self) -> dict:
+        def keyed(mapping: dict[SyncScheme, int]) -> dict[str, int]:
+            return {scheme_to_str(s): v for s, v in mapping.items()}
+        return {
+            "name": self.name,
+            "cycles": keyed(self.cycles),
+            "lock_cycles": keyed(self.lock_cycles),
+            "restarts": keyed(self.restarts),
+            "resource_fallbacks": keyed(self.resource_fallbacks),
+            "critical_sections": keyed(self.critical_sections),
+            "failures": [f.to_dict() for f in self.failures],
+        }
 
-def _sweep(name: str, builder: Callable[[int], Workload],
+    @classmethod
+    def from_dict(cls, data: dict) -> "AppResult":
+        def unkeyed(mapping: Optional[dict]) -> dict[SyncScheme, int]:
+            return {scheme_from_str(k): v
+                    for k, v in (mapping or {}).items()}
+        return cls(
+            name=data["name"],
+            cycles=unkeyed(data.get("cycles")),
+            lock_cycles=unkeyed(data.get("lock_cycles")),
+            restarts=unkeyed(data.get("restarts")),
+            resource_fallbacks=unkeyed(data.get("resource_fallbacks")),
+            critical_sections=unkeyed(data.get("critical_sections")),
+            failures=[FailedRun.from_dict(f)
+                      for f in (data.get("failures") or [])])
+
+
+# ----------------------------------------------------------------------
+# Engine plumbing
+# ----------------------------------------------------------------------
+def _execute(specs: Sequence[RunSpec], engine: dict
+             ) -> list[parallel.Outcome]:
+    """Run specs through the sweep engine, remembering telemetry."""
+    global _LAST_TELEMETRY
+    outcomes, telemetry = parallel.execute(specs, **engine)
+    _LAST_TELEMETRY = telemetry.to_dict()
+    return outcomes
+
+
+def _engine_kwargs(jobs, timeout, cache, retries) -> dict:
+    return {"jobs": jobs, "timeout": timeout, "cache": cache,
+            "retries": retries}
+
+
+def _spec(workload: str, config: SystemConfig, scheme: SyncScheme,
+          num_cpus: int, validate: bool = True, **workload_args) -> RunSpec:
+    cfg = config.with_scheme(scheme)
+    cfg.num_cpus = num_cpus
+    return RunSpec(workload=workload, config=cfg,
+                   workload_args=workload_args, validate=validate)
+
+
+def _sweep(name: str, workload: str, workload_args: dict,
            schemes: Sequence[SyncScheme],
            processor_counts: Sequence[int],
-           base_config: Optional[SystemConfig] = None) -> SweepResult:
+           base_config: Optional[SystemConfig],
+           engine: dict, validate: bool = True) -> SweepResult:
     base = base_config or SystemConfig()
+    keys: list[tuple[SyncScheme, int]] = [
+        (scheme, n) for scheme in schemes for n in processor_counts]
+    specs = [_spec(workload, base, scheme, n, validate, **workload_args)
+             for scheme, n in keys]
+    outcomes = _execute(specs, engine)
     result = SweepResult(name=name, processor_counts=list(processor_counts))
-    for scheme in schemes:
-        series = []
-        for n in processor_counts:
-            cfg = base.with_scheme(scheme)
-            cfg.num_cpus = n
-            outcome = run(builder(n), cfg)
+    for (scheme, _), outcome in zip(keys, outcomes):
+        series = result.series.setdefault(scheme, [])
+        if isinstance(outcome, FailedRun):
+            series.append(None)
+            result.failures.append(outcome)
+        else:
             series.append(outcome.cycles)
-        result.series[scheme] = series
+    if _LAST_TELEMETRY is not None:
+        result.extra["telemetry"] = _LAST_TELEMETRY
     return result
+
+
+def _require(outcome: parallel.Outcome) -> RunResult:
+    """Unwrap an outcome whose result the experiment cannot do without."""
+    if isinstance(outcome, FailedRun):
+        raise parallel.SimulationError(
+            f"run ({outcome.workload!r}, {outcome.scheme}, "
+            f"{outcome.num_cpus} cpus, seed {outcome.seed}) failed after "
+            f"{outcome.attempts} attempts: {outcome.error}: "
+            f"{outcome.message}")
+    return outcome
 
 
 # ----------------------------------------------------------------------
 # Figures 8-10: microbenchmarks vs processor count
 # ----------------------------------------------------------------------
+@register_experiment("figure8", "multiple-counter sweep (coarse-grain "
+                                "locking, no data conflicts)")
 def figure8_multiple_counter(total_increments: int = 2048,
                              processor_counts: Sequence[int] =
                              DEFAULT_PROCESSOR_COUNTS,
-                             config: Optional[SystemConfig] = None
-                             ) -> SweepResult:
+                             config: Optional[SystemConfig] = None, *,
+                             jobs: int = 1,
+                             timeout: Optional[float] = None,
+                             cache=None,
+                             retries: Optional[int] = None,
+                             validate: bool = True) -> SweepResult:
     """Coarse-grain/no-conflicts (paper Figure 8)."""
-    return _sweep("figure8-multiple-counter",
-                  lambda n: multiple_counter(n, total_increments),
-                  MICRO_SCHEMES, processor_counts, config)
+    return _sweep("figure8-multiple-counter", "multiple-counter",
+                  {"total_increments": total_increments},
+                  MICRO_SCHEMES, processor_counts, config,
+                  _engine_kwargs(jobs, timeout, cache, retries), validate)
 
 
+@register_experiment("figure9", "single-counter sweep (fine-grain, "
+                                "high-conflict)")
 def figure9_single_counter(total_increments: int = 1024,
                            processor_counts: Sequence[int] =
                            DEFAULT_PROCESSOR_COUNTS,
                            config: Optional[SystemConfig] = None,
-                           include_strict_ts: bool = True) -> SweepResult:
+                           include_strict_ts: bool = True, *,
+                           jobs: int = 1,
+                           timeout: Optional[float] = None,
+                           cache=None,
+                           retries: Optional[int] = None,
+                           validate: bool = True) -> SweepResult:
     """Fine-grain/high-conflict, including TLR-strict-ts (Figure 9)."""
     schemes = list(MICRO_SCHEMES)
     if include_strict_ts:
         schemes.append(SyncScheme.TLR_STRICT_TS)
-    return _sweep("figure9-single-counter",
-                  lambda n: single_counter(n, total_increments),
-                  schemes, processor_counts, config)
+    return _sweep("figure9-single-counter", "single-counter",
+                  {"total_increments": total_increments},
+                  schemes, processor_counts, config,
+                  _engine_kwargs(jobs, timeout, cache, retries), validate)
 
 
+@register_experiment("figure10", "linked-list sweep (fine-grain, "
+                                 "dynamic conflicts)")
 def figure10_linked_list(total_ops: int = 1024,
                          processor_counts: Sequence[int] =
                          DEFAULT_PROCESSOR_COUNTS,
-                         config: Optional[SystemConfig] = None
-                         ) -> SweepResult:
+                         config: Optional[SystemConfig] = None, *,
+                         jobs: int = 1,
+                         timeout: Optional[float] = None,
+                         cache=None,
+                         retries: Optional[int] = None,
+                         validate: bool = True) -> SweepResult:
     """Fine-grain/dynamic-conflicts doubly-linked list (Figure 10)."""
-    return _sweep("figure10-linked-list",
-                  lambda n: linked_list(n, total_ops),
-                  MICRO_SCHEMES, processor_counts, config)
+    return _sweep("figure10-linked-list", "linked-list",
+                  {"total_ops": total_ops},
+                  MICRO_SCHEMES, processor_counts, config,
+                  _engine_kwargs(jobs, timeout, cache, retries), validate)
 
 
 # ----------------------------------------------------------------------
 # Figure 7 intuition: queueing on data under pure conflict
 # ----------------------------------------------------------------------
+@register_experiment("figure7", "queue-on-data intuition (TLR orders "
+                                "conflicts on the data itself)")
 def figure7_queue_on_data(num_cpus: int = 4,
                           total_increments: int = 256,
-                          config: Optional[SystemConfig] = None) -> dict:
+                          config: Optional[SystemConfig] = None, *,
+                          jobs: int = 1,
+                          timeout: Optional[float] = None,
+                          cache=None,
+                          retries: Optional[int] = None,
+                          validate: bool = True) -> dict:
     """The Section 6.1 intuition: under TLR, processors conflicting on
     one line order on the data itself -- no restarts, no lock requests.
 
@@ -136,9 +322,10 @@ def figure7_queue_on_data(num_cpus: int = 4,
     transaction requires to restart" can be checked quantitatively.
     """
     base = config or SystemConfig()
-    cfg = base.with_scheme(SyncScheme.TLR)
-    cfg.num_cpus = num_cpus
-    outcome = run(single_counter(num_cpus, total_increments), cfg)
+    spec = _spec("single-counter", base, SyncScheme.TLR, num_cpus,
+                 validate, total_increments=total_increments)
+    outcome = _require(_execute(
+        [spec], _engine_kwargs(jobs, timeout, cache, retries))[0])
     summary = outcome.stats.summary()
     return {
         "cycles": outcome.cycles,
@@ -152,55 +339,74 @@ def figure7_queue_on_data(num_cpus: int = 4,
 # ----------------------------------------------------------------------
 # Figure 11: applications at 16 processors
 # ----------------------------------------------------------------------
+@register_experiment("figure11", "application suite at 16 processors "
+                                 "(normalized bars + MCS comparison)")
 def figure11_applications(num_cpus: int = 16,
                           apps: Optional[Iterable[str]] = None,
                           schemes: Sequence[SyncScheme] = APP_SCHEMES,
-                          config: Optional[SystemConfig] = None
-                          ) -> dict[str, AppResult]:
+                          config: Optional[SystemConfig] = None, *,
+                          jobs: int = 1,
+                          timeout: Optional[float] = None,
+                          cache=None,
+                          retries: Optional[int] = None,
+                          validate: bool = True) -> dict[str, AppResult]:
     """Application performance, normalized to BASE, with the lock /
     non-lock breakdown (Figure 11) and the in-text MCS comparison."""
     base = config or SystemConfig()
     names = list(apps) if apps is not None else list(ALL_APPS)
+    keys = [(name, scheme) for name in names for scheme in schemes]
+    specs = [_spec(name, base, scheme, num_cpus, validate)
+             for name, scheme in keys]
+    outcomes = _execute(specs,
+                        _engine_kwargs(jobs, timeout, cache, retries))
     results: dict[str, AppResult] = {}
     for name in names:
-        builder = ALL_APPS[name]
-        cycles, lock_cycles, restarts = {}, {}, {}
-        fallbacks, sections = {}, {}
-        for scheme in schemes:
-            cfg = base.with_scheme(scheme)
-            cfg.num_cpus = num_cpus
-            outcome = run(builder(num_cpus), cfg)
-            cycles[scheme] = outcome.cycles
-            # Average per-processor lock stall (the paper's commit-time
-            # attribution), to compare against parallel time.
-            lock_cycles[scheme] = (outcome.stats.lock_stall_cycles
+        results[name] = AppResult(name=name, cycles={}, lock_cycles={},
+                                  restarts={}, resource_fallbacks={},
+                                  critical_sections={})
+    for (name, scheme), outcome in zip(keys, outcomes):
+        app = results[name]
+        if isinstance(outcome, FailedRun):
+            app.failures.append(outcome)
+            continue
+        app.cycles[scheme] = outcome.cycles
+        # Average per-processor lock stall (the paper's commit-time
+        # attribution), to compare against parallel time.
+        app.lock_cycles[scheme] = (outcome.stats.lock_stall_cycles
                                    // max(1, num_cpus))
-            restarts[scheme] = outcome.stats.restarts
-            fallbacks[scheme] = outcome.stats.total("resource_fallbacks")
-            sections[scheme] = outcome.stats.total("critical_sections")
-        results[name] = AppResult(name=name, cycles=cycles,
-                                  lock_cycles=lock_cycles,
-                                  restarts=restarts,
-                                  resource_fallbacks=fallbacks,
-                                  critical_sections=sections)
+        app.restarts[scheme] = outcome.stats.restarts
+        app.resource_fallbacks[scheme] = (
+            outcome.stats.total("resource_fallbacks"))
+        app.critical_sections[scheme] = (
+            outcome.stats.total("critical_sections"))
     return results
 
 
 # ----------------------------------------------------------------------
 # Section 6.3 in-text experiments
 # ----------------------------------------------------------------------
+@register_experiment("coarse-vs-fine", "mp3d with one coarse lock vs "
+                                       "per-cell locks")
 def table_coarse_vs_fine(num_cpus: int = 16,
-                         config: Optional[SystemConfig] = None) -> dict:
+                         config: Optional[SystemConfig] = None, *,
+                         jobs: int = 1,
+                         timeout: Optional[float] = None,
+                         cache=None,
+                         retries: Optional[int] = None,
+                         validate: bool = True) -> dict:
     """mp3d with one coarse lock vs per-cell locks (Section 6.3)."""
     base = config or SystemConfig()
-    out: dict[str, int] = {}
+    keys, specs = [], []
     for coarse in (False, True):
         for scheme in (SyncScheme.BASE, SyncScheme.TLR, SyncScheme.MCS):
-            cfg = base.with_scheme(scheme)
-            cfg.num_cpus = num_cpus
-            outcome = run(mp3d(num_cpus, coarse=coarse), cfg)
-            grain = "coarse" if coarse else "fine"
-            out[f"{grain}/{scheme.value}"] = outcome.cycles
+            workload = "mp3d-coarse" if coarse else "mp3d"
+            keys.append(("coarse" if coarse else "fine", scheme))
+            specs.append(_spec(workload, base, scheme, num_cpus, validate))
+    outcomes = _execute(specs,
+                        _engine_kwargs(jobs, timeout, cache, retries))
+    out: dict[str, int] = {}
+    for (grain, scheme), outcome in zip(keys, outcomes):
+        out[f"{grain}/{scheme.value}"] = _require(outcome).cycles
     out["speedup_tlr_coarse_over_base_fine"] = (
         out["fine/BASE"] / out["coarse/BASE+SLE+TLR"])
     out["speedup_tlr_coarse_over_tlr_fine"] = (
@@ -208,23 +414,31 @@ def table_coarse_vs_fine(num_cpus: int = 16,
     return out
 
 
+@register_experiment("rmw-predictor", "BASE with vs without the "
+                                      "read-modify-write predictor")
 def table_rmw_predictor(num_cpus: int = 16,
                         apps: Optional[Iterable[str]] = None,
-                        config: Optional[SystemConfig] = None
-                        ) -> dict[str, float]:
+                        config: Optional[SystemConfig] = None, *,
+                        jobs: int = 1,
+                        timeout: Optional[float] = None,
+                        cache=None,
+                        retries: Optional[int] = None,
+                        validate: bool = True) -> dict[str, float]:
     """BASE with vs without the read-modify-write predictor: the
     speedup list at the end of Section 6.3 (BASE over BASE-no-opt)."""
     base = config or SystemConfig()
     names = list(apps) if apps is not None else list(ALL_APPS)
-    speedups: dict[str, float] = {}
+    keys, specs = [], []
     for name in names:
-        builder = ALL_APPS[name]
-        cycles = {}
         for enabled in (True, False):
-            cfg = base.with_scheme(SyncScheme.BASE)
-            cfg.num_cpus = num_cpus
-            cfg.spec.rmw_predictor_enabled = enabled
-            outcome = run(builder(num_cpus), cfg)
-            cycles[enabled] = outcome.cycles
-        speedups[name] = cycles[False] / cycles[True]
-    return speedups
+            spec = _spec(name, base, SyncScheme.BASE, num_cpus, validate)
+            spec.config.spec.rmw_predictor_enabled = enabled
+            keys.append((name, enabled))
+            specs.append(spec)
+    outcomes = _execute(specs,
+                        _engine_kwargs(jobs, timeout, cache, retries))
+    cycles: dict[tuple[str, bool], int] = {
+        key: _require(outcome).cycles
+        for key, outcome in zip(keys, outcomes)}
+    return {name: cycles[(name, False)] / cycles[(name, True)]
+            for name in names}

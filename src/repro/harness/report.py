@@ -9,17 +9,22 @@ small terminal plot for the microbenchmark sweeps.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Optional
 
 from repro.harness.config import SyncScheme
 from repro.harness.experiments import AppResult, SweepResult
+
+
+def _cell(value) -> str:
+    """Render one sweep datum; a failed run (``None``) prints as FAIL."""
+    return "FAIL" if value is None else str(value)
 
 
 def sweep_table(result: SweepResult) -> str:
     """Cycles-vs-processors table for one microbenchmark figure."""
     schemes = list(result.series)
     header = ["procs"] + [s.value for s in schemes]
-    rows = [[str(n)] + [str(result.series[s][i]) for s in schemes]
+    rows = [[str(n)] + [_cell(result.series[s][i]) for s in schemes]
             for i, n in enumerate(result.processor_counts)]
     widths = [max(len(header[c]), *(len(r[c]) for r in rows)) + 2
               for c in range(len(header))]
@@ -33,14 +38,18 @@ def ascii_series(result: SweepResult, height: int = 12,
                  width: int = 64) -> str:
     """A rough terminal plot of one sweep (cycles vs processor count)."""
     schemes = list(result.series)
-    peak = max(max(series) for series in result.series.values())
+    peak = max((point for series in result.series.values()
+                for point in series if point is not None), default=1)
     grid = [[" "] * width for _ in range(height)]
     marks = "ox+*#@"
     xs = result.processor_counts
     for si, scheme in enumerate(schemes):
         for i, n in enumerate(xs):
+            point = result.series[scheme][i]
+            if point is None:       # failed run: no mark at this x
+                continue
             x = int((n - xs[0]) / max(1, xs[-1] - xs[0]) * (width - 1))
-            y = int(result.series[scheme][i] / peak * (height - 1))
+            y = int(point / peak * (height - 1))
             grid[height - 1 - y][x] = marks[si % len(marks)]
     legend = "  ".join(f"{marks[i % len(marks)]}={s.value}"
                        for i, s in enumerate(schemes))
@@ -79,6 +88,36 @@ def speedup_summary(results: Mapping[str, AppResult]) -> str:
                if SyncScheme.MCS in app.cycles else float("nan"))
         lines.append(f"{name:<12}{tlr:>10.2f}{mcs:>10.2f}"
                      f"{tlr / mcs if mcs == mcs else float('nan'):>10.2f}")
+    return "\n".join(lines)
+
+
+def telemetry_line(telemetry: Optional[Mapping]) -> str:
+    """One-line summary of a sweep's engine telemetry: how many runs
+    were simulated vs served from cache, retries, failures, wall time
+    and (when parallel) worker utilization."""
+    if not telemetry:
+        return ""
+    parts = [f"{telemetry.get('total_runs', 0)} runs:",
+             f"{telemetry.get('simulated', 0)} simulated,",
+             f"{telemetry.get('cache_hits', 0)} cached,",
+             f"{telemetry.get('retries', 0)} retried,",
+             f"{telemetry.get('failures', 0)} failed;",
+             f"jobs={telemetry.get('jobs', 1)}",
+             f"wall={telemetry.get('wall_seconds', 0.0):.2f}s"]
+    if telemetry.get("jobs", 1) > 1:
+        parts.append(f"workers {telemetry.get('utilization', 0.0):.0%} busy")
+    return "[sweep] " + " ".join(parts)
+
+
+def failures_table(failures: Iterable) -> str:
+    """One row per :class:`~repro.harness.parallel.FailedRun`."""
+    lines = []
+    for failed in failures:
+        lines.append(
+            f"FAILED {failed.workload} scheme={failed.scheme} "
+            f"cpus={failed.num_cpus} seed={failed.seed} "
+            f"attempts={failed.attempts} ({failed.error}: "
+            f"{failed.message})")
     return "\n".join(lines)
 
 

@@ -1,20 +1,28 @@
-"""Experiment runner: one-call execution of (workload, scheme) pairs.
+"""Single-run execution and the legacy runner shims.
 
-The paper's evaluation compares the same benchmark under BASE, BASE+SLE,
-BASE+SLE+TLR and MCS.  :func:`run` executes one combination and returns a
-:class:`RunResult`; :func:`compare_schemes` sweeps a set of schemes with a
-shared workload builder (fresh workload per run -- simulated memory is
-stateful) and returns results keyed by scheme.
+:func:`_execute_workload` is the one place a workload meets a machine;
+everything else -- the unified API :func:`repro.harness.run`, the
+parallel sweep engine, and the deprecated shims below -- routes through
+it.
+
+.. deprecated::
+    :func:`run`, :func:`run_scheme` and :func:`compare_schemes` are kept
+    as thin shims for older examples/tests.  New code should use
+    ``repro.harness.run(spec, *, jobs=..., timeout=..., cache=...,
+    validate=...)`` with a :class:`~repro.harness.spec.RunSpec` or a
+    registered experiment name (see :mod:`repro.harness.spec`).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
 from repro.coherence.memory import ValueStore
 from repro.harness.config import SyncScheme, SystemConfig
 from repro.harness.machine import Machine
+from repro.harness.spec import config_from_dict, config_to_dict
 from repro.runtime.program import Workload
 from repro.sim.stats import SimStats
 
@@ -23,12 +31,19 @@ WorkloadBuilder = Callable[[], Workload]
 
 @dataclass
 class RunResult:
-    """Everything one simulation produced."""
+    """Everything one simulation produced.
+
+    ``seed_used``/``attempts`` record livelock-retry outcomes from the
+    sweep engine: a run that needed a seed bump reports the seed it
+    actually completed with and how many attempts it took.
+    """
 
     config: SystemConfig
     workload_name: str
     stats: SimStats
     store: ValueStore
+    seed_used: Optional[int] = None
+    attempts: int = 1
 
     @property
     def cycles(self) -> int:
@@ -41,28 +56,74 @@ class RunResult:
             return float("inf")
         return other.cycles / self.cycles
 
+    # -- serialization (stable public contract; used by the result
+    # cache, the worker boundary, and ``--json``) ----------------------
+    def to_dict(self) -> dict:
+        return {
+            "workload_name": self.workload_name,
+            "config": config_to_dict(self.config),
+            "stats": self.stats.to_dict(),
+            "store": {str(addr): value
+                      for addr, value in self.store.snapshot().items()},
+            "seed_used": self.seed_used,
+            "attempts": self.attempts,
+        }
 
-def run(workload: Workload, config: SystemConfig,
-        validate: bool = True) -> RunResult:
-    """Execute ``workload`` on a freshly built machine."""
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        store = ValueStore()
+        for addr, value in (data.get("store") or {}).items():
+            store.write(int(addr), value)
+        return cls(config=config_from_dict(data["config"]),
+                   workload_name=data["workload_name"],
+                   stats=SimStats.from_dict(data["stats"]),
+                   store=store,
+                   seed_used=data.get("seed_used"),
+                   attempts=data.get("attempts", 1))
+
+
+def _execute_workload(workload: Workload, config: SystemConfig,
+                      validate: bool = True) -> RunResult:
+    """Execute ``workload`` on a freshly built machine (no deprecation
+    warning -- this is the internal core the new API calls)."""
     machine = Machine(config)
     stats = machine.run_workload(workload, validate=validate)
     return RunResult(config=config, workload_name=workload.name,
                      stats=stats, store=machine.store)
 
 
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.harness.runner.{name} is deprecated; use "
+        "repro.harness.run(spec, *, jobs=..., timeout=..., cache=..., "
+        "validate=...) instead", DeprecationWarning, stacklevel=3)
+
+
+def run(workload: Workload, config: SystemConfig,
+        validate: bool = True) -> RunResult:
+    """Deprecated shim: execute ``workload`` on a freshly built machine."""
+    _deprecated("run")
+    return _execute_workload(workload, config, validate=validate)
+
+
 def run_scheme(builder: WorkloadBuilder, scheme: SyncScheme,
                config: Optional[SystemConfig] = None,
                validate: bool = True) -> RunResult:
-    """Build a fresh workload and run it under ``scheme``."""
+    """Deprecated shim: build a fresh workload and run it under
+    ``scheme``."""
+    _deprecated("run_scheme")
     base = config or SystemConfig()
-    return run(builder(), base.with_scheme(scheme), validate=validate)
+    return _execute_workload(builder(), base.with_scheme(scheme),
+                             validate=validate)
 
 
 def compare_schemes(builder: WorkloadBuilder,
                     schemes: Iterable[SyncScheme],
                     config: Optional[SystemConfig] = None,
                     validate: bool = True) -> dict[SyncScheme, RunResult]:
-    """Run the same benchmark under several schemes."""
-    return {scheme: run_scheme(builder, scheme, config, validate)
+    """Deprecated shim: run the same benchmark under several schemes."""
+    _deprecated("compare_schemes")
+    base = config or SystemConfig()
+    return {scheme: _execute_workload(builder(), base.with_scheme(scheme),
+                                      validate=validate)
             for scheme in schemes}

@@ -1,0 +1,211 @@
+"""Serializable run/experiment specifications.
+
+The parallel sweep engine (:mod:`repro.harness.parallel`) ships work to
+``multiprocessing`` workers and keys the on-disk result cache
+(:mod:`repro.harness.cache`), so a run must be describable *as data*:
+a workload **name** plus keyword arguments (looked up in
+:data:`WORKLOAD_BUILDERS` inside the worker -- thread factories are
+closures and cannot be pickled), a :class:`~repro.harness.config.SystemConfig`,
+and a validation flag.  :class:`RunSpec` is that description; its
+:meth:`~RunSpec.fingerprint` is a deterministic digest of everything
+that can change a simulation's outcome, and is the cache key.
+
+:class:`ExperimentSpec` is the registry entry that unifies the paper's
+``figure_*``/``table_*`` entry points behind the single keyword-only
+API ``repro.harness.run(spec, *, jobs=..., timeout=..., cache=...,
+validate=...)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Callable, Optional
+
+from repro.harness.config import (BusConfig, CacheConfig, DirectoryConfig,
+                                  MemoryConfig, SpeculationConfig, SyncScheme,
+                                  SystemConfig)
+from repro.runtime.program import Workload
+from repro.workloads.apps import ALL_APPS, mp3d
+from repro.workloads.microbench import (linked_list, multiple_counter,
+                                        single_counter)
+
+# Bumped whenever the simulator's observable behaviour changes in a way
+# that invalidates previously cached results.
+FINGERPRINT_VERSION = 1
+
+
+def _mp3d_coarse(num_threads: int, **kwargs) -> Workload:
+    return mp3d(num_threads, coarse=True, **kwargs)
+
+
+#: Name -> builder.  Every builder takes the thread count first and
+#: accepts only keyword arguments after it, so a ``RunSpec`` can rebuild
+#: the workload inside a worker process.
+WORKLOAD_BUILDERS: dict[str, Callable[..., Workload]] = {
+    "multiple-counter": multiple_counter,
+    "single-counter": single_counter,
+    "linked-list": linked_list,
+    "mp3d-coarse": _mp3d_coarse,
+    **ALL_APPS,
+}
+
+#: The keyword each builder uses for its "total work" knob (the CLI's
+#: ``--ops``): total operations for the microbenchmarks, per-thread
+#: iteration scale for the application kernels.
+SIZE_PARAM: dict[str, str] = {
+    "multiple-counter": "total_increments",
+    "single-counter": "total_increments",
+    "linked-list": "total_ops",
+    "mp3d-coarse": "scale",
+    **{name: "scale" for name in ALL_APPS},
+}
+
+
+# ----------------------------------------------------------------------
+# SystemConfig <-> dict
+# ----------------------------------------------------------------------
+def scheme_to_str(scheme: SyncScheme) -> str:
+    """Stable string form of a scheme (the enum *name*, e.g. ``"TLR"``)."""
+    return scheme.name
+
+
+def scheme_from_str(name: str) -> SyncScheme:
+    """Inverse of :func:`scheme_to_str`; also accepts the paper label
+    (enum value, e.g. ``"BASE+SLE+TLR"``)."""
+    try:
+        return SyncScheme[name]
+    except KeyError:
+        for scheme in SyncScheme:
+            if scheme.value == name:
+                return scheme
+        raise KeyError(
+            f"unknown scheme {name!r}; known: "
+            f"{[s.name for s in SyncScheme]}") from None
+
+
+def config_to_dict(config: SystemConfig) -> dict:
+    """A JSON-serializable image of a :class:`SystemConfig`."""
+    data = asdict(config)
+    data["scheme"] = scheme_to_str(config.scheme)
+    return data
+
+
+def config_from_dict(data: dict) -> SystemConfig:
+    data = dict(data)
+    return SystemConfig(
+        num_cpus=data["num_cpus"],
+        scheme=scheme_from_str(data["scheme"]),
+        cache=CacheConfig(**data["cache"]),
+        bus=BusConfig(**data["bus"]),
+        directory=DirectoryConfig(**data["directory"]),
+        protocol=data["protocol"],
+        memory=MemoryConfig(**data["memory"]),
+        spec=SpeculationConfig(**data["spec"]),
+        seed=data["seed"],
+        latency_jitter=data["latency_jitter"],
+        max_cycles=data["max_cycles"],
+    )
+
+
+# ----------------------------------------------------------------------
+# RunSpec
+# ----------------------------------------------------------------------
+@dataclass
+class RunSpec:
+    """One simulation, described as picklable/JSON-able data."""
+
+    workload: str
+    config: SystemConfig
+    workload_args: dict = field(default_factory=dict)
+    validate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOAD_BUILDERS:
+            raise KeyError(
+                f"unknown workload {self.workload!r}; known: "
+                f"{sorted(WORKLOAD_BUILDERS)}")
+
+    def build_workload(self) -> Workload:
+        """Instantiate the workload for ``config.num_cpus`` threads."""
+        builder = WORKLOAD_BUILDERS[self.workload]
+        return builder(self.config.num_cpus, **self.workload_args)
+
+    def with_seed(self, seed: int) -> "RunSpec":
+        return replace(self, config=replace(self.config, seed=seed))
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "workload_args": dict(self.workload_args),
+            "config": config_to_dict(self.config),
+            "validate": self.validate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        return cls(workload=data["workload"],
+                   workload_args=dict(data.get("workload_args") or {}),
+                   config=config_from_dict(data["config"]),
+                   validate=data.get("validate", True))
+
+    def fingerprint(self) -> str:
+        """Deterministic digest of everything that determines the
+        simulation's outcome (workload identity + full config, including
+        the seed; *not* the validate flag, which cannot change results).
+        """
+        payload = {
+            "v": FINGERPRINT_VERSION,
+            "workload": self.workload,
+            "workload_args": self.workload_args,
+            "config": config_to_dict(self.config),
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# ExperimentSpec registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named, runnable experiment (one paper figure/table).
+
+    ``runner`` accepts the experiment's own parameters plus the uniform
+    engine keywords (``jobs``, ``timeout``, ``cache``, ``retries``,
+    ``validate``) and returns the experiment's result object.
+    """
+
+    name: str
+    description: str
+    runner: Callable[..., Any]
+
+    def __call__(self, **kwargs) -> Any:
+        return self.runner(**kwargs)
+
+
+#: Global experiment registry, populated by
+#: :mod:`repro.harness.experiments` at import time.
+EXPERIMENTS: dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(name: str, description: str):
+    """Decorator: register a ``figure_*``/``table_*`` function under
+    ``name`` in :data:`EXPERIMENTS`."""
+    def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
+        EXPERIMENTS[name] = ExperimentSpec(name=name,
+                                           description=description,
+                                           runner=fn)
+        return fn
+    return decorator
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; registered: "
+            f"{sorted(EXPERIMENTS)}") from None

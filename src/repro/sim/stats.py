@@ -13,7 +13,7 @@ charged the stall, classified by whether it targets a lock variable.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 
 @dataclass
@@ -70,6 +70,18 @@ class CpuStats:
         else:
             self.nonlock_stall_cycles += cycles
 
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot (counters as plain dicts)."""
+        data = asdict(self)
+        data["restart_reasons"] = dict(self.restart_reasons)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CpuStats":
+        data = dict(data)
+        data["restart_reasons"] = Counter(data.get("restart_reasons") or {})
+        return cls(**data)
+
 
 @dataclass
 class SimStats:
@@ -117,6 +129,30 @@ class SimStats:
         if stall == 0:
             return 0.0
         return self.lock_stall_cycles / stall
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot of every counter (the stable
+        on-disk format used by the result cache and ``--json``)."""
+        return {
+            "cpus": [c.to_dict() for c in self.cpus],
+            "bus_transactions": self.bus_transactions,
+            "bus_busy_cycles": self.bus_busy_cycles,
+            "data_messages": self.data_messages,
+            "memory_reads": self.memory_reads,
+            "total_cycles": self.total_cycles,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimStats":
+        stats = cls(cpus=[CpuStats.from_dict(c) for c in data.get("cpus", [])],
+                    bus_transactions=data.get("bus_transactions", 0),
+                    bus_busy_cycles=data.get("bus_busy_cycles", 0),
+                    data_messages=data.get("data_messages", 0),
+                    memory_reads=data.get("memory_reads", 0),
+                    total_cycles=data.get("total_cycles", 0),
+                    extra=Counter(data.get("extra") or {}))
+        return stats
 
     def summary(self) -> dict:
         """A flat dict convenient for tables and ``extra_info``."""

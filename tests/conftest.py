@@ -50,6 +50,14 @@ def space() -> AddressSpace:
     return AddressSpace()
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the sweep engine's on-disk result cache at a per-test
+    directory so tests never read from (or write into) the user's real
+    ``~/.cache/repro-tlr``."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 ALL_SCHEMES = (SyncScheme.BASE, SyncScheme.MCS, SyncScheme.SLE,
                SyncScheme.TLR, SyncScheme.TLR_STRICT_TS)
 SPEC_SCHEMES = (SyncScheme.SLE, SyncScheme.TLR, SyncScheme.TLR_STRICT_TS)

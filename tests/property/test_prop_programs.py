@@ -18,9 +18,14 @@ def _machine(scheme, num_cpus, seed=0):
 # ----------------------------------------------------------------------
 # Nested-lock programs
 # ----------------------------------------------------------------------
+# Each op is (outer lock index, counter index).  The inner lock is
+# derived from the counter (``counter % 2``) so every access to a given
+# counter is guarded by the same inner lock: with a free choice of inner
+# lock, two threads can increment the same counter under disjoint lock
+# sets, and a lost update is then a legal sequentially-consistent
+# outcome rather than a simulator bug (hypothesis found exactly that).
 nested_plan = st.lists(
     st.tuples(st.integers(0, 1),      # outer lock index
-              st.integers(0, 1),      # inner lock index (may equal data)
               st.integers(0, 2)),     # counter index
     min_size=1, max_size=6)
 
@@ -37,14 +42,14 @@ def test_nested_lock_programs_conserve_increments(plans, scheme):
 
     def make_thread(tid):
         def thread(env):
-            for outer_idx, inner_idx, counter_idx in plans[tid]:
+            for outer_idx, counter_idx in plans[tid]:
                 counter = counters[counter_idx]
 
                 def inner_body(env, counter=counter):
                     value = yield env.read(counter, pc="n.ld")
                     yield env.write(counter, value + 1, pc="n.st")
 
-                def outer_body(env, inner=inner_locks[inner_idx],
+                def outer_body(env, inner=inner_locks[counter_idx % 2],
                                inner_body=inner_body):
                     yield from env.critical(inner, inner_body, pc="n.in")
 
@@ -62,7 +67,7 @@ def test_nested_lock_programs_conserve_increments(plans, scheme):
 
     expected = [0, 0, 0]
     for plan in plans:
-        for _, _, counter_idx in plan:
+        for _, counter_idx in plan:
             expected[counter_idx] += 1
     got = [machine.store.read(c) for c in counters]
     assert got == expected

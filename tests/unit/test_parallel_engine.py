@@ -1,0 +1,201 @@
+"""Unit tests for the parallel sweep engine: retry-with-seed-bump on
+livelock, FailedRun degradation, wall-clock timeouts, cache integration,
+telemetry, and the unified ``repro.harness.run`` dispatch."""
+
+import time
+
+import pytest
+
+import repro.harness.parallel as parallel
+from repro.harness import run as harness_run
+from repro.harness.cache import ResultCache
+from repro.harness.config import SyncScheme, SystemConfig
+from repro.harness.parallel import (FailedRun, RunTimeout, execute,
+                                    _wall_clock_limit)
+from repro.harness.runner import RunResult
+from repro.harness.spec import RunSpec
+from repro.runtime.program import ValidationError
+from repro.sim.kernel import SimulationError
+from repro.workloads.microbench import single_counter
+
+
+def _spec(seed=0, ops=32, cpus=2, max_cycles=20_000_000) -> RunSpec:
+    return RunSpec(workload="single-counter",
+                   config=SystemConfig(num_cpus=cpus, seed=seed,
+                                       max_cycles=max_cycles),
+                   workload_args={"total_increments": ops})
+
+
+class TestRetries:
+    def test_livelock_retried_with_bumped_seed(self, monkeypatch):
+        real = parallel._simulate
+        attempts = []
+
+        def flaky(spec):
+            attempts.append(spec.config.seed)
+            if len(attempts) == 1:
+                raise SimulationError("synthetic livelock")
+            return real(spec)
+
+        monkeypatch.setattr(parallel, "_simulate", flaky)
+        outcomes, telemetry = execute([_spec(seed=5)], jobs=1, retries=2)
+        result = outcomes[0]
+        assert isinstance(result, RunResult)
+        assert result.attempts == 2
+        assert result.seed_used == 5 + parallel.SEED_BUMP
+        assert attempts == [5, 5 + parallel.SEED_BUMP]
+        assert telemetry.retries == 1 and telemetry.failures == 0
+
+    def test_exhausted_retries_yield_failed_run(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel, "_simulate",
+            lambda spec: (_ for _ in ()).throw(SimulationError("stuck")))
+        outcomes, telemetry = execute([_spec(seed=3)], jobs=1, retries=2)
+        failed = outcomes[0]
+        assert isinstance(failed, FailedRun)
+        assert failed.attempts == 3
+        assert failed.error == "SimulationError"
+        assert failed.seed == 3
+        assert len(failed.seeds_tried) == 3
+        assert telemetry.failures == 1
+
+    def test_real_cycle_budget_overrun_degrades_not_raises(self):
+        # max_cycles far below what the run needs: every attempt
+        # overruns, the sweep still completes.
+        ok, bad = _spec(), _spec(max_cycles=500)
+        outcomes, telemetry = execute([ok, bad, ok], jobs=1, retries=1)
+        assert isinstance(outcomes[0], RunResult)
+        assert isinstance(outcomes[1], FailedRun)
+        assert isinstance(outcomes[2], RunResult)
+        assert "cycle budget" in outcomes[1].message
+        assert telemetry.failures == 1
+        assert telemetry.retries >= 1
+
+    def test_validation_error_is_not_retried(self, monkeypatch):
+        calls = []
+
+        def broken(spec):
+            calls.append(spec.config.seed)
+            raise ValidationError("memory image wrong")
+
+        monkeypatch.setattr(parallel, "_simulate", broken)
+        with pytest.raises(ValidationError):
+            execute([_spec()], jobs=1, retries=3)
+        assert len(calls) == 1
+
+
+class TestTimeout:
+    def test_wall_clock_limit_raises_runtimeout(self):
+        with pytest.raises(RunTimeout):
+            with _wall_clock_limit(0.05):
+                time.sleep(1.0)
+
+    def test_wall_clock_limit_disarms_after_body(self):
+        with _wall_clock_limit(0.05):
+            pass
+        time.sleep(0.08)  # would blow up if the timer were still armed
+
+    def test_timed_out_run_becomes_failed_run(self, monkeypatch):
+        def slow(spec):
+            time.sleep(1.0)
+
+        monkeypatch.setattr(parallel, "_simulate", slow)
+        outcomes, telemetry = execute([_spec()], jobs=1, retries=0,
+                                      timeout=0.05)
+        failed = outcomes[0]
+        assert isinstance(failed, FailedRun)
+        assert failed.error == "RunTimeout"
+        assert telemetry.failures == 1
+
+
+class TestCacheIntegration:
+    def test_second_execute_hits_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [_spec(seed=0), _spec(seed=1)]
+        first, t1 = execute(specs, jobs=1, cache=cache)
+        second, t2 = execute(specs, jobs=1, cache=cache)
+        assert t1.simulated == 2 and t1.cache_hits == 0
+        assert t2.simulated == 0 and t2.cache_hits == 2
+        assert [r.cycles for r in first] == [r.cycles for r in second]
+
+    def test_changed_spec_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        execute([_spec(seed=0)], jobs=1, cache=cache)
+        _, telemetry = execute([_spec(seed=99)], jobs=1, cache=cache)
+        assert telemetry.cache_hits == 0 and telemetry.simulated == 1
+
+    def test_invalidated_entry_is_resimulated(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        execute([spec], jobs=1, cache=cache)
+        cache.invalidate(spec.fingerprint())
+        _, telemetry = execute([spec], jobs=1, cache=cache)
+        assert telemetry.cache_hits == 0 and telemetry.simulated == 1
+
+    def test_failures_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        bad = _spec(max_cycles=500)
+        execute([bad], jobs=1, retries=0, cache=cache)
+        assert len(cache) == 0
+        _, telemetry = execute([bad], jobs=1, retries=0, cache=cache)
+        assert telemetry.cache_hits == 0
+
+    def test_progress_callback_sees_every_run(self, tmp_path):
+        seen = []
+        execute([_spec(seed=0), _spec(seed=1)], jobs=1,
+                progress=lambda done, total, outcome:
+                seen.append((done, total)))
+        assert seen == [(1, 2), (2, 2)]
+
+
+class TestUnifiedRun:
+    def test_runspec_returns_runresult(self):
+        result = harness_run(_spec())
+        assert isinstance(result, RunResult)
+        assert result.cycles > 0
+
+    def test_failed_spec_returns_failed_run(self):
+        outcome = harness_run(_spec(max_cycles=500), retries=0)
+        assert isinstance(outcome, FailedRun)
+
+    def test_workload_legacy_path(self):
+        result = harness_run(single_counter(2, 32),
+                             SystemConfig(num_cpus=2,
+                                          max_cycles=20_000_000))
+        assert isinstance(result, RunResult)
+        assert result.workload_name == "single-counter"
+
+    def test_experiment_by_name(self):
+        sweep = harness_run("figure9", total_increments=32,
+                            processor_counts=(2,),
+                            include_strict_ts=False)
+        assert sweep.cycles(SyncScheme.TLR, 2) > 0
+
+    def test_unknown_experiment_name(self):
+        with pytest.raises(KeyError, match="registered"):
+            harness_run("figure99")
+
+    def test_bad_spec_type(self):
+        with pytest.raises(TypeError, match="cannot run"):
+            harness_run(42)
+
+    def test_validate_false_propagates(self):
+        result = harness_run(_spec(), validate=False)
+        assert isinstance(result, RunResult)
+
+
+class TestDeprecatedShims:
+    def test_runner_functions_warn_but_work(self):
+        from repro.harness.runner import compare_schemes, run, run_scheme
+        cfg = SystemConfig(num_cpus=2, max_cycles=20_000_000)
+        with pytest.deprecated_call():
+            result = run(single_counter(2, 32), cfg)
+        assert result.cycles > 0
+        with pytest.deprecated_call():
+            result = run_scheme(lambda: single_counter(2, 32),
+                                SyncScheme.SLE, cfg)
+        assert result.config.scheme is SyncScheme.SLE
+        with pytest.deprecated_call():
+            results = compare_schemes(lambda: single_counter(2, 32),
+                                      (SyncScheme.BASE,), cfg)
+        assert set(results) == {SyncScheme.BASE}

@@ -1,0 +1,205 @@
+"""Unit tests for run fingerprinting, the on-disk result cache, and the
+stable to_dict/from_dict serialization contracts."""
+
+import json
+
+import pytest
+
+from repro.harness.cache import ResultCache, resolve_cache
+from repro.harness.config import SyncScheme, SystemConfig
+from repro.harness.experiments import (AppResult, SweepLookupError,
+                                       SweepResult)
+from repro.harness.parallel import FailedRun
+from repro.harness.parallel import run
+from repro.harness.runner import RunResult
+from repro.harness.spec import (RunSpec, config_from_dict, config_to_dict,
+                                scheme_from_str, scheme_to_str)
+from repro.workloads.microbench import single_counter
+
+
+def _spec(seed=0, ops=64, cpus=2, scheme=SyncScheme.TLR) -> RunSpec:
+    return RunSpec(workload="single-counter",
+                   config=SystemConfig(num_cpus=cpus, scheme=scheme,
+                                       seed=seed, max_cycles=20_000_000),
+                   workload_args={"total_increments": ops})
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert _spec().fingerprint() == _spec().fingerprint()
+
+    def test_sensitive_to_seed(self):
+        assert _spec(seed=0).fingerprint() != _spec(seed=1).fingerprint()
+
+    def test_sensitive_to_workload_args(self):
+        assert _spec(ops=64).fingerprint() != _spec(ops=128).fingerprint()
+
+    def test_sensitive_to_scheme_and_cpus(self):
+        base = _spec().fingerprint()
+        assert _spec(scheme=SyncScheme.BASE).fingerprint() != base
+        assert _spec(cpus=4).fingerprint() != base
+
+    def test_sensitive_to_nested_config(self):
+        spec = _spec()
+        spec.config.spec.rmw_predictor_enabled = False
+        assert spec.fingerprint() != _spec().fingerprint()
+
+    def test_insensitive_to_validate_flag(self):
+        a, b = _spec(), _spec()
+        b.validate = False
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError, match="no-such-workload"):
+            RunSpec(workload="no-such-workload", config=SystemConfig())
+
+
+class TestSpecSerialization:
+    def test_round_trip(self):
+        spec = _spec(seed=7)
+        again = RunSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.fingerprint() == spec.fingerprint()
+
+    def test_to_dict_is_json_serializable(self):
+        json.dumps(_spec().to_dict())
+
+    def test_config_round_trip_strict_ts(self):
+        cfg = SystemConfig(scheme=SyncScheme.TLR_STRICT_TS)
+        again = config_from_dict(config_to_dict(cfg))
+        assert again == cfg
+        assert again.spec.single_block_relaxation is False
+
+    def test_scheme_string_forms(self):
+        for scheme in SyncScheme:
+            assert scheme_from_str(scheme_to_str(scheme)) is scheme
+            assert scheme_from_str(scheme.value) is scheme
+        with pytest.raises(KeyError, match="unknown scheme"):
+            scheme_from_str("NOPE")
+
+    def test_build_workload_uses_config_cpus(self):
+        workload = _spec(cpus=2).build_workload()
+        assert workload.num_threads == 2
+
+
+class TestRunResultSerialization:
+    def test_round_trip_preserves_cycles_stats_store(self):
+        result = run(single_counter(2, 32),
+                     SystemConfig(num_cpus=2, max_cycles=20_000_000))
+        again = RunResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert again.cycles == result.cycles
+        assert again.workload_name == result.workload_name
+        assert again.stats.summary() == result.stats.summary()
+        assert again.store.snapshot() == result.store.snapshot()
+        assert again.config == result.config
+        assert again.stats.cpu(0).restart_reasons == \
+            result.stats.cpu(0).restart_reasons
+
+
+class TestSweepAndAppSerialization:
+    def _sweep(self) -> SweepResult:
+        sweep = SweepResult(name="demo", processor_counts=[2, 4])
+        sweep.series[SyncScheme.BASE] = [100, 200]
+        sweep.series[SyncScheme.TLR] = [50, None]
+        sweep.failures.append(FailedRun(
+            workload="single-counter", scheme="TLR", num_cpus=4, seed=0,
+            fingerprint="ff", error="SimulationError", message="livelock",
+            attempts=3, seeds_tried=[0, 1, 2]))
+        return sweep
+
+    def test_sweep_round_trip(self):
+        sweep = self._sweep()
+        again = SweepResult.from_dict(
+            json.loads(json.dumps(sweep.to_dict())))
+        assert again.series == sweep.series
+        assert again.processor_counts == sweep.processor_counts
+        assert again.failures[0].message == "livelock"
+
+    def test_sweep_schemes_serialized_as_strings(self):
+        data = self._sweep().to_dict()
+        assert set(data["series"]) == {"BASE", "TLR"}
+
+    def test_app_round_trip(self):
+        app = AppResult(
+            name="demo",
+            cycles={SyncScheme.BASE: 1000, SyncScheme.TLR: 500},
+            lock_cycles={SyncScheme.BASE: 300, SyncScheme.TLR: 10},
+            restarts={SyncScheme.BASE: 0, SyncScheme.TLR: 5},
+            resource_fallbacks={SyncScheme.BASE: 0, SyncScheme.TLR: 1},
+            critical_sections={SyncScheme.BASE: 10, SyncScheme.TLR: 10})
+        again = AppResult.from_dict(json.loads(json.dumps(app.to_dict())))
+        assert again.cycles == app.cycles
+        assert again.speedup(SyncScheme.TLR) == 2.0
+
+
+class TestSweepCyclesLookup:
+    def _sweep(self) -> SweepResult:
+        sweep = SweepResult(name="demo", processor_counts=[2, 4])
+        sweep.series[SyncScheme.TLR] = [50, None]
+        return sweep
+
+    def test_missing_processor_count_names_available(self):
+        with pytest.raises(SweepLookupError, match=r"available processor "
+                                                   r"counts: \[2, 4\]"):
+            self._sweep().cycles(SyncScheme.TLR, 8)
+
+    def test_missing_scheme_names_available(self):
+        with pytest.raises(SweepLookupError, match="available schemes"):
+            self._sweep().cycles(SyncScheme.MCS, 2)
+
+    def test_failed_slot_points_at_failures(self):
+        with pytest.raises(SweepLookupError, match="failed"):
+            self._sweep().cycles(SyncScheme.TLR, 4)
+
+    def test_lookup_error_is_both_key_and_value_error(self):
+        # Old callers caught ValueError (list.index); new callers can
+        # catch KeyError.  Both must keep working.
+        with pytest.raises(ValueError):
+            self._sweep().cycles(SyncScheme.TLR, 8)
+        with pytest.raises(KeyError):
+            self._sweep().cycles(SyncScheme.TLR, 8)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("ab" + "0" * 62) is None
+        cache.put("ab" + "0" * 62, {"x": 1})
+        assert cache.get("ab" + "0" * 62) == {"x": 1}
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_invalidate(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("cd" + "0" * 62, {"x": 1})
+        assert cache.invalidate("cd" + "0" * 62)
+        assert cache.get("cd" + "0" * 62) is None
+        assert not cache.invalidate("cd" + "0" * 62)
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fingerprint = "ef" + "0" * 62
+        cache.put(fingerprint, {"x": 1})
+        cache._path(fingerprint).write_text("{not json")
+        assert cache.get(fingerprint) is None
+        assert not cache._path(fingerprint).exists()
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(f"{i:02d}" + "0" * 62, {})
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_default_dir_honours_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "here"))
+        assert ResultCache().root == tmp_path / "here"
+
+    def test_resolve_cache_forms(self, tmp_path):
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+        assert resolve_cache(tmp_path).root == tmp_path
+        cache = ResultCache(tmp_path)
+        assert resolve_cache(cache) is cache
+        assert isinstance(resolve_cache(True), ResultCache)

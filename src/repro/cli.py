@@ -102,6 +102,28 @@ def _build_parser() -> argparse.ArgumentParser:
     _engine_opts(sub.add_parser("rmw-predictor",
                                 help="BASE vs BASE-no-opt"))
 
+    verify_cmd = sub.add_parser(
+        "verify", help="serializability oracle + invariant monitors "
+                       "over a seed fan-out")
+    verify_cmd.add_argument(
+        "workloads", nargs="*", metavar="workload",
+        help="workloads to verify (default: single-counter, "
+             "multiple-counter, linked-list)")
+    verify_cmd.add_argument("--scheme", type=str, default="TLR",
+                            help="|".join(SCHEME_ALIASES))
+    verify_cmd.add_argument("--cpus", type=int, default=4)
+    verify_cmd.add_argument("--seeds", type=int, default=100,
+                            help="seeds to fan each workload across")
+    verify_cmd.add_argument("--ops", type=int, default=96,
+                            help="workload size per run")
+    verify_cmd.add_argument("--chaos", type=int, default=0,
+                            help="kernel schedule-chaos amplitude "
+                                 "(0 = deterministic FIFO within a cycle)")
+    verify_cmd.add_argument("--base-seed", type=int, default=0)
+    verify_cmd.add_argument("--no-shrink", action="store_true",
+                            help="report failing seeds without shrinking")
+    _engine_opts(verify_cmd)
+
     runner = sub.add_parser("run", help="run one workload")
     runner.add_argument("workload", choices=sorted(WORKLOAD_BUILDERS))
     runner.add_argument("--scheme", type=str, default="TLR",
@@ -219,6 +241,31 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(report.dict_table(result, "BASE / BASE-no-opt"))
             _print_telemetry()
         return 0
+
+    if args.command == "verify":
+        scheme_name = args.scheme.upper().replace("_", "-")
+        if scheme_name not in SCHEME_ALIASES:
+            print(f"unknown scheme {args.scheme}; one of "
+                  f"{' '.join(SCHEME_ALIASES)}", file=sys.stderr)
+            return 2
+        for name in args.workloads:
+            if name not in WORKLOAD_BUILDERS:
+                print(f"unknown workload {name}; one of "
+                      f"{' '.join(sorted(WORKLOAD_BUILDERS))}",
+                      file=sys.stderr)
+                return 2
+        result = experiments.verify(
+            workloads=args.workloads or None,
+            scheme=scheme_from_str(scheme_name.replace("-", "_")),
+            num_cpus=args.cpus, seeds=args.seeds, ops=args.ops,
+            chaos=args.chaos, base_seed=args.base_seed,
+            shrink=not args.no_shrink, **_engine_kwargs(args))
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2))
+        else:
+            print(result.render())
+            _print_telemetry()
+        return 0 if result.ok else 1
 
     if args.command == "run":
         scheme_name = args.scheme.upper().replace("_", "-")

@@ -112,6 +112,19 @@ class CacheArray:
             return victim_line
         return None
 
+    def peek(self, line_addr: int) -> Optional[Line]:
+        """Side-effect-free lookup: no LRU bump, no victim promotion.
+
+        The invariant monitors inspect every controller's view of a line
+        after each coherence event; a normal :meth:`lookup` would perturb
+        replacement state and victim residency, changing the very
+        execution being checked.
+        """
+        line = self._sets[self.set_index(line_addr)].get(line_addr)
+        if line is not None:
+            return line
+        return self.victim.lookup(line_addr)
+
     def install(self, line_addr: int, state: State) -> Line:
         """Allocate (or revalidate) ``line_addr`` in ``state``.
 

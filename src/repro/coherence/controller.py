@@ -87,6 +87,9 @@ class CacheController:
             lambda reason, line: None
         self.on_conflict_ts: Callable[[Optional[Timestamp]], None] = \
             lambda ts: None
+        # Optional invariant monitor (repro.verify.monitors); None in
+        # normal runs so the hot path pays only an attribute test.
+        self.monitor = None
         # LL/SC link register.
         self._link: Optional[int] = None
         bus.attach(self)
@@ -477,6 +480,8 @@ class CacheController:
         self.deferred.push(request, self.sim.now)
         self.cache.pin(request.line)
         self.stats.requests_deferred += 1
+        if self.monitor is not None:
+            self.monitor.on_defer(self, request)
         self._send_marker(request)
 
     def _send_marker(self, request: BusRequest) -> None:
@@ -566,6 +571,8 @@ class CacheController:
                     self.on_conflict_ts(request.ts)
                     self._handle_loss("invalidated-in-flight", request.line,
                                       request.ts)
+        if self.monitor is not None:
+            self.monitor.on_line_state(self, request.line)
         self._wake_watchers(request.line)
 
     def upgrade_granted(self, request: BusRequest) -> None:
@@ -575,6 +582,8 @@ class CacheController:
         line = self.cache.lookup(request.line)
         if line is not None:
             line.state = State.MODIFIED
+        if self.monitor is not None:
+            self.monitor.on_line_state(self, request.line)
         self._finish_request(request, list(mshr.waiters),
                              list(mshr.successors),
                              pass_through=mshr.pass_through)
@@ -609,6 +618,8 @@ class CacheController:
             line.accessed = True
             if request.kind is ReqKind.GETX:
                 line.spec_written = True
+        if self.monitor is not None:
+            self.monitor.on_line_state(self, request.line)
         self._wake_watchers(request.line)
         self._finish_request(request, list(mshr.waiters),
                              list(mshr.successors),
@@ -670,6 +681,8 @@ class CacheController:
             # Keep the line pinned while further deferred entries for it
             # remain queued, so an eviction cannot race their service.
             self.cache.unpin(request.line)
+        if self.monitor is not None:
+            self.monitor.on_line_state(self, request.line)
         self.bus.deliver_data(request, self.cpu_id)
         if lose_after:
             self.on_conflict_ts(request.ts)
@@ -682,6 +695,8 @@ class CacheController:
         deferred queue in order), clear speculative state, restart."""
         if not self.speculating:
             return
+        if self.monitor is not None:
+            self.monitor.on_loss(self, reason, line_addr, incoming_ts)
         for spec_line in self.cache.speculative_lines():
             spec_line.clear_speculative()
         self.speculating = False

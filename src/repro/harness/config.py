@@ -168,6 +168,12 @@ class SystemConfig:
     spec: SpeculationConfig = field(default_factory=SpeculationConfig)
     seed: int = 0
     latency_jitter: int = 2
+    # Schedule-exploration chaos: when > 0, same-cycle events are
+    # reordered by a seeded random priority drawn from
+    # ``0..schedule_chaos`` at each kernel choice point (see
+    # ``Simulator.set_choice_hook``).  0 keeps the strict-FIFO default.
+    # Used by ``repro.verify`` to widen interleaving coverage per seed.
+    schedule_chaos: int = 0
     max_cycles: int | None = 500_000_000
 
     def with_scheme(self, scheme: SyncScheme) -> "SystemConfig":

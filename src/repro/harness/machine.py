@@ -37,6 +37,13 @@ class Machine:
         self.streams = RandomStreams(config.seed)
         self.stats = SimStats()
         self.sim = Simulator(max_cycles=config.max_cycles)
+        if config.schedule_chaos > 0:
+            # Schedule-exploration mode: perturb same-cycle event order
+            # with a seeded random priority (see Simulator.set_choice_hook).
+            chaos_rng = self.streams.stream("choice")
+            chaos = config.schedule_chaos
+            self.sim.set_choice_hook(
+                lambda label: chaos_rng.randint(0, chaos))
         perturber = LatencyPerturber(self.streams.stream("latency"),
                                      config.latency_jitter)
         if config.protocol == "directory":

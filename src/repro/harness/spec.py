@@ -33,7 +33,8 @@ from repro.workloads.microbench import (linked_list, multiple_counter,
 
 # Bumped whenever the simulator's observable behaviour changes in a way
 # that invalidates previously cached results.
-FINGERPRINT_VERSION = 1
+# v2: SystemConfig grew ``schedule_chaos`` (kernel choice-point hook).
+FINGERPRINT_VERSION = 2
 
 
 def _mp3d_coarse(num_threads: int, **kwargs) -> Workload:
@@ -105,6 +106,7 @@ def config_from_dict(data: dict) -> SystemConfig:
         spec=SpeculationConfig(**data["spec"]),
         seed=data["seed"],
         latency_jitter=data["latency_jitter"],
+        schedule_chaos=data.get("schedule_chaos", 0),
         max_cycles=data["max_cycles"],
     )
 

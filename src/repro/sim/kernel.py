@@ -41,13 +41,17 @@ class Event:
     Events are cancellable: :meth:`cancel` marks the event dead and the
     kernel skips it when popped.  This is how spin-wait timeouts and
     superseded wakeups are handled without scrubbing the heap.
+
+    ``prio`` orders events within a cycle ahead of the sequence number;
+    it is 0 (pure FIFO) unless a schedule choice hook is installed.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "alive", "label")
+    __slots__ = ("time", "prio", "seq", "fn", "args", "alive", "label")
 
     def __init__(self, time: int, seq: int, fn: Callable[..., None],
-                 args: tuple, label: str = ""):
+                 args: tuple, label: str = "", prio: int = 0):
         self.time = time
+        self.prio = prio
         self.seq = seq
         self.fn = fn
         self.args = args
@@ -59,7 +63,8 @@ class Event:
         self.alive = False
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return (self.time, self.prio, self.seq) < \
+            (other.time, other.prio, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "" if self.alive else " (cancelled)"
@@ -89,6 +94,7 @@ class Simulator:
         self.max_cycles = max_cycles
         self._actors: list[Any] = []
         self.trace: Optional[Callable[[int, str], None]] = None
+        self._choice: Optional[Callable[[str], int]] = None
 
     # ------------------------------------------------------------------
     # Clock and scheduling
@@ -114,9 +120,25 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         self._seq += 1
-        event = Event(self._now + delay, self._seq, fn, args, label)
+        prio = self._choice(label) if self._choice is not None else 0
+        event = Event(self._now + delay, self._seq, fn, args, label,
+                      prio=prio)
         heapq.heappush(self._queue, event)
         return event
+
+    def set_choice_hook(self,
+                        fn: Optional[Callable[[str], int]]) -> None:
+        """Install a schedule *choice point*: ``fn(label)`` is consulted
+        once per :meth:`schedule` call and its return value becomes the
+        event's intra-cycle priority (lower fires first; ties fall back
+        to FIFO order).
+
+        The default (no hook) is strict FIFO within a cycle.  The
+        schedule explorer installs a seeded random hook here to perturb
+        same-cycle interleavings -- every distinct seed then explores a
+        different but fully reproducible legal ordering.
+        """
+        self._choice = fn
 
     # ------------------------------------------------------------------
     # Actors and completion
@@ -142,7 +164,11 @@ class Simulator:
         or until ``max_cycles``.  Returns the final simulated time.  Raises
         :class:`DeadlockError` if the queue empties with incomplete actors,
         and :class:`SimulationError` on a cycle-budget overrun (which in
-        this codebase nearly always means livelock).
+        this codebase nearly always means livelock).  An explicit
+        ``until`` always returns for resumption -- including the boundary
+        case ``until == max_cycles`` -- because the caller asked for the
+        pause; only running past ``max_cycles`` *without* a requested
+        stop is the livelock diagnostic.
         """
         limit = self.max_cycles
         if until is not None:
@@ -156,7 +182,7 @@ class Simulator:
                 heapq.heappush(self._queue, event)
                 self._now = limit
                 if until is not None and (self.max_cycles is None
-                                          or until < self.max_cycles):
+                                          or until <= self.max_cycles):
                     return self._now
                 raise SimulationError(
                     f"cycle budget exhausted at {limit} cycles with "

@@ -14,8 +14,9 @@ path when tracing is off).
 from __future__ import annotations
 
 import functools
+import json
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.harness.machine import Machine
@@ -132,6 +133,40 @@ class Tracer:
         for event in self.events:
             histogram[event.kind] = histogram.get(event.kind, 0) + 1
         return histogram
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_chrome_trace(self, path: Union[str, "os.PathLike"],
+                        **filter_kwargs) -> int:
+        """Write the (optionally filtered) events as a ``chrome://tracing``
+        / Perfetto JSON file and return the number of events written.
+
+        Each simulation cycle maps to one microsecond on the viewer's
+        timeline (the target machine runs at 1 GHz, so a cycle is really
+        a nanosecond; the x1000 scale only renames the axis).  Every CPU
+        appears as its own thread row, each recorded event as an instant
+        event on that row, so a failing schedule from the explorer can be
+        inspected visually -- load the file via ``chrome://tracing`` or
+        https://ui.perfetto.dev.
+        """
+        events = self.filter(**filter_kwargs)
+        payload: list[dict] = []
+        for cpu in sorted({e.cpu for e in events}):
+            payload.append({"name": "thread_name", "ph": "M", "pid": 0,
+                            "tid": cpu,
+                            "args": {"name": f"cpu{cpu}"}})
+        for event in events:
+            args = {"detail": event.detail}
+            if event.line is not None:
+                args["line"] = f"{event.line:#x}"
+            payload.append({"name": event.kind, "ph": "i", "s": "t",
+                            "pid": 0, "tid": event.cpu,
+                            "ts": event.time, "args": args})
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"traceEvents": payload, "displayTimeUnit": "ms"},
+                      fh)
+        return len(events)
 
 
 def _line_of_args(args) -> Optional[int]:

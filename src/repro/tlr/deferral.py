@@ -62,6 +62,17 @@ class DeferredQueue:
         entries, self._entries = self._entries, []
         return entries
 
+    def entries(self) -> tuple[DeferredEntry, ...]:
+        """Read-only view of the queued entries in arrival order (used
+        by the invariant monitors to build the global waits-for graph
+        without reaching into queue internals)."""
+        return tuple(self._entries)
+
+    def requesters(self) -> set[int]:
+        """CPU ids whose requests are currently buffered here -- i.e.
+        the processors *waiting on* this controller's transaction."""
+        return {e.request.requester for e in self._entries}
+
     def lines(self) -> set[int]:
         return {e.line for e in self._entries}
 

@@ -1,0 +1,483 @@
+"""Seed-fanned schedule exploration with failure shrinking.
+
+One verified run answers "was *this* interleaving serializable?".  The
+explorer answers the useful question -- "can we find an interleaving
+that is not?" -- by fanning a spec across hundreds of seeds (and,
+optionally, the kernel's schedule-chaos choice points) through the same
+process pool, wall-clock limiter and on-disk result cache as the sweep
+engine.  Verification failures are **findings**, so unlike performance
+sweeps there are no retry-with-bumped-seed semantics: a failing seed is
+reported, then *shrunk* -- workload size halved while the failure
+reproduces, then the processor count -- and the minimal reproduction is
+re-run with a :class:`~repro.sim.trace.Tracer` attached to render the
+events around the first violation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from repro.harness.cache import resolve_cache
+from repro.harness.machine import Machine
+from repro.harness.parallel import _pool_context, _wall_clock_limit
+from repro.harness.spec import SIZE_PARAM, RunSpec, scheme_to_str
+from repro.runtime.program import ValidationError
+from repro.sim.kernel import SimulationError
+from repro.sim.trace import Tracer
+from repro.verify.monitors import InvariantViolation, MonitorSuite
+from repro.verify.oracle import SerializabilityOracle
+from repro.verify.recorder import FootprintRecorder
+
+# Bumped whenever the recorder/oracle/monitor semantics change in a way
+# that invalidates cached verification verdicts.
+VERIFY_FINGERPRINT_VERSION = 1
+
+#: Cycles of trace to render before/after the first violation.
+TRACE_WINDOW_BEFORE = 2_000
+TRACE_WINDOW_AFTER = 500
+
+
+@dataclass(frozen=True)
+class VerifyOptions:
+    """Knobs for one verification run (part of the cache key)."""
+
+    monitors: bool = True            # run the invariant monitors
+    oracle: bool = True              # run the serializability oracle
+    strict_exclusive: bool = True    # MOESI strict-exclusivity check
+    watchdog_period: int = 20_000
+    watchdog_patience: int = 10
+
+    def to_dict(self) -> dict:
+        return {"monitors": self.monitors, "oracle": self.oracle,
+                "strict_exclusive": self.strict_exclusive,
+                "watchdog_period": self.watchdog_period,
+                "watchdog_patience": self.watchdog_patience}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VerifyOptions":
+        return cls(**data)
+
+
+@dataclass
+class VerifyResult:
+    """Verdict of one verified run."""
+
+    workload: str
+    scheme: str
+    num_cpus: int
+    seed: int
+    ok: bool
+    error: Optional[str] = None        # exception that ended the run
+    violations: list[str] = field(default_factory=list)
+    num_txns: int = 0
+    edges: dict = field(default_factory=dict)
+    elapsed: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {"workload": self.workload, "scheme": self.scheme,
+                "num_cpus": self.num_cpus, "seed": self.seed,
+                "ok": self.ok, "error": self.error,
+                "violations": list(self.violations),
+                "num_txns": self.num_txns, "edges": dict(self.edges),
+                "elapsed": self.elapsed}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VerifyResult":
+        return cls(workload=data["workload"], scheme=data["scheme"],
+                   num_cpus=data["num_cpus"], seed=data["seed"],
+                   ok=data["ok"], error=data.get("error"),
+                   violations=list(data.get("violations") or []),
+                   num_txns=data.get("num_txns", 0),
+                   edges=dict(data.get("edges") or {}),
+                   elapsed=data.get("elapsed", 0.0))
+
+    def headline(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        extra = ""
+        if self.error:
+            extra = f" -- {self.error}"
+        elif self.violations:
+            extra = f" -- {self.violations[0]}"
+        return (f"{self.workload}/{self.scheme} cpus={self.num_cpus} "
+                f"seed={self.seed}: {status} ({self.num_txns} txns)"
+                f"{extra}")
+
+
+# ----------------------------------------------------------------------
+# One verified run
+# ----------------------------------------------------------------------
+def verify_run(spec: RunSpec, options: Optional[VerifyOptions] = None,
+               collect_trace: bool = False
+               ) -> tuple[VerifyResult, Optional[Tracer]]:
+    """Build, instrument and run one spec; judge the execution.
+
+    Returns the verdict and (when ``collect_trace``) the attached
+    :class:`~repro.sim.trace.Tracer` for rendering.
+    """
+    options = options or VerifyOptions()
+    started = time.perf_counter()
+    workload = spec.build_workload()
+    machine = Machine(spec.config)
+    tracer = Tracer().attach(machine) if collect_trace else None
+    recorder = FootprintRecorder().attach(machine)
+    monitors = None
+    if options.monitors:
+        monitors = MonitorSuite(
+            machine, fail_fast=True,
+            strict_exclusive=options.strict_exclusive,
+            watchdog_period=options.watchdog_period,
+            watchdog_patience=options.watchdog_patience).attach()
+    error: Optional[str] = None
+    try:
+        machine.run_workload(workload, validate=spec.validate)
+    except (InvariantViolation, ValidationError, SimulationError) as exc:
+        error = f"{type(exc).__name__}: {exc}"
+
+    violations: list[str] = []
+    if monitors is not None:
+        violations.extend(str(v) for v in monitors.violations)
+    num_txns = len(recorder.committed)
+    edges: dict = {}
+    if options.oracle:
+        report = SerializabilityOracle(recorder).check(
+            machine.store.snapshot())
+        num_txns = report.num_txns
+        edges = report.edges
+        violations.extend(str(v) for v in report.violations)
+
+    result = VerifyResult(
+        workload=spec.workload,
+        scheme=scheme_to_str(spec.config.scheme),
+        num_cpus=spec.config.num_cpus,
+        seed=spec.config.seed,
+        ok=error is None and not violations,
+        error=error,
+        violations=violations,
+        num_txns=num_txns,
+        edges=edges,
+        elapsed=time.perf_counter() - started)
+    return result, tracer
+
+
+def verify_fingerprint(spec: RunSpec, options: VerifyOptions) -> str:
+    """Cache key for one verification verdict: run fingerprint plus the
+    verification knobs plus the verifier's own version."""
+    payload = {"v": VERIFY_FINGERPRINT_VERSION,
+               "run": spec.fingerprint(),
+               "options": options.to_dict()}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return "verify-" + hashlib.sha256(
+        canonical.encode("utf-8")).hexdigest()
+
+
+def _verify_worker(payload: tuple) -> dict:
+    """Top-level pool entry point (must be picklable).  Failures are
+    findings: a run that dies or times out becomes a failing verdict,
+    never a retry."""
+    spec_dict, options_dict, timeout = payload
+    spec = RunSpec.from_dict(spec_dict)
+    options = VerifyOptions.from_dict(options_dict)
+    started = time.perf_counter()
+    try:
+        with _wall_clock_limit(timeout):
+            result, _ = verify_run(spec, options)
+    except Exception as exc:  # timeout or an unexpected verifier crash
+        result = VerifyResult(
+            workload=spec.workload,
+            scheme=scheme_to_str(spec.config.scheme),
+            num_cpus=spec.config.num_cpus,
+            seed=spec.config.seed,
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            elapsed=time.perf_counter() - started)
+    return result.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Seed fan-out
+# ----------------------------------------------------------------------
+@dataclass
+class ExplorationResult:
+    """Outcome of one seed fan-out."""
+
+    spec: RunSpec                     # the base (seed-0) spec
+    options: VerifyOptions
+    results: list[VerifyResult]
+    cache_hits: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def failures(self) -> list[VerifyResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def total_txns(self) -> int:
+        return sum(r.num_txns for r in self.results)
+
+    def summary(self) -> str:
+        status = "PASS" if self.ok else f"FAIL ({len(self.failures)} seeds)"
+        return (f"{self.spec.workload}/{scheme_to_str(self.spec.config.scheme)}"
+                f" cpus={self.spec.config.num_cpus}: {status} -- "
+                f"{len(self.results)} seeds, {self.total_txns} txns "
+                f"verified, {self.cache_hits} cached, "
+                f"{self.wall_seconds:.1f}s")
+
+
+def with_chaos(spec: RunSpec, chaos: int) -> RunSpec:
+    """Return ``spec`` with kernel schedule-chaos amplitude ``chaos``."""
+    return replace(spec, config=replace(spec.config, schedule_chaos=chaos))
+
+
+def explore(spec: RunSpec, *, seeds: int = 100, base_seed: int = 0,
+            jobs: int = 1, timeout: Optional[float] = None,
+            cache=None, options: Optional[VerifyOptions] = None,
+            progress=None) -> ExplorationResult:
+    """Verify ``spec`` under ``seeds`` different seeds.
+
+    ``progress(done, total, result)`` fires as verdicts land.  Verdicts
+    are cached under :func:`verify_fingerprint`, so re-running an
+    exploration only simulates seeds that were not seen before.
+    """
+    options = options or VerifyOptions()
+    store = resolve_cache(cache)
+    started = time.perf_counter()
+    specs = [spec.with_seed(base_seed + i) for i in range(seeds)]
+    fingerprints = [verify_fingerprint(s, options) for s in specs]
+    results: list[Optional[VerifyResult]] = [None] * len(specs)
+    cache_hits = 0
+    done = 0
+
+    pending: list[int] = []
+    for i, s in enumerate(specs):
+        payload = store.get(fingerprints[i]) if store is not None else None
+        if payload is not None:
+            try:
+                results[i] = VerifyResult.from_dict(payload["verdict"])
+            except (KeyError, TypeError, ValueError):
+                store.invalidate(fingerprints[i])
+            else:
+                cache_hits += 1
+                done += 1
+                if progress is not None:
+                    progress(done, len(specs), results[i])
+                continue
+        pending.append(i)
+
+    def _absorb(index: int, raw: dict) -> None:
+        nonlocal done
+        results[index] = VerifyResult.from_dict(raw)
+        if store is not None:
+            store.put(fingerprints[index],
+                      {"spec": specs[index].to_dict(), "verdict": raw})
+        done += 1
+        if progress is not None:
+            progress(done, len(specs), results[index])
+
+    payloads = [(specs[i].to_dict(), options.to_dict(), timeout)
+                for i in pending]
+    if pending:
+        if jobs <= 1 or len(pending) == 1:
+            for index, payload in zip(pending, payloads):
+                _absorb(index, _verify_worker(payload))
+        else:
+            ctx = _pool_context()
+            with ctx.Pool(processes=min(jobs, len(pending))) as pool:
+                for index, raw in zip(pending,
+                                      pool.imap(_verify_worker, payloads)):
+                    _absorb(index, raw)
+
+    return ExplorationResult(spec=spec, options=options,
+                             results=list(results),
+                             cache_hits=cache_hits,
+                             wall_seconds=time.perf_counter() - started)
+
+
+# ----------------------------------------------------------------------
+# Failure shrinking
+# ----------------------------------------------------------------------
+@dataclass
+class ShrunkFailure:
+    """A minimal reproduction of one failing seed."""
+
+    spec: RunSpec
+    result: VerifyResult
+    trace: str
+    shrink_steps: int = 0
+
+    def render(self) -> str:
+        config = self.spec.config
+        size_key = SIZE_PARAM.get(self.spec.workload)
+        size = self.spec.workload_args.get(size_key, "?") if size_key else "?"
+        header = (f"minimal reproduction after {self.shrink_steps} shrink "
+                  f"steps: {self.spec.workload} {size_key}={size} "
+                  f"cpus={config.num_cpus} seed={config.seed} "
+                  f"chaos={config.schedule_chaos}")
+        problem = self.result.error or (
+            self.result.violations[0] if self.result.violations else "?")
+        return "\n".join([header, f"failure: {problem}", "", self.trace])
+
+
+def _still_fails(spec: RunSpec, options: VerifyOptions,
+                 timeout: Optional[float]) -> Optional[VerifyResult]:
+    """Re-run ``spec``; returns the failing verdict or None if it now
+    passes (shrinking must preserve the failure)."""
+    raw = _verify_worker((spec.to_dict(), options.to_dict(), timeout))
+    result = VerifyResult.from_dict(raw)
+    return None if result.ok else result
+
+
+def shrink_failure(spec: RunSpec, *,
+                   options: Optional[VerifyOptions] = None,
+                   timeout: Optional[float] = None,
+                   max_rounds: int = 16) -> ShrunkFailure:
+    """Shrink a failing spec to a minimal reproduction.
+
+    Greedily halves the workload's size knob while the failure still
+    reproduces, then halves the processor count (floor 2), then re-runs
+    the survivor with a :class:`~repro.sim.trace.Tracer` attached and
+    renders the window around the first violation.
+    """
+    options = options or VerifyOptions()
+    current = spec
+    steps = 0
+    size_key = SIZE_PARAM.get(spec.workload)
+
+    def try_shrunk(candidate: RunSpec) -> bool:
+        nonlocal current, steps
+        if _still_fails(candidate, options, timeout) is not None:
+            current = candidate
+            steps += 1
+            return True
+        return False
+
+    if size_key is not None and size_key in spec.workload_args:
+        for _ in range(max_rounds):
+            size = current.workload_args[size_key]
+            if size <= 2:
+                break
+            smaller = dict(current.workload_args)
+            smaller[size_key] = max(2, size // 2)
+            if not try_shrunk(replace(current, workload_args=smaller)):
+                break
+    for _ in range(max_rounds):
+        cpus = current.config.num_cpus
+        if cpus <= 2:
+            break
+        fewer = replace(current,
+                        config=replace(current.config,
+                                       num_cpus=max(2, cpus // 2)))
+        if not try_shrunk(fewer):
+            break
+
+    # Final instrumented run of the minimal reproduction.
+    result, tracer = verify_run(current, options, collect_trace=True)
+    if result.ok:
+        # The failure is flaky at this size (e.g. pool-vs-serial timing
+        # of the wall clock); fall back to the unshrunk spec.
+        current, steps = spec, 0
+        result, tracer = verify_run(current, options, collect_trace=True)
+    first_violation = _first_violation_time(result)
+    if first_violation is not None:
+        trace = tracer.render(since=max(0, first_violation
+                                        - TRACE_WINDOW_BEFORE),
+                              until=first_violation + TRACE_WINDOW_AFTER)
+    else:
+        events = tracer.events
+        since = events[-80].time if len(events) > 80 else 0
+        trace = tracer.render(since=since)
+    return ShrunkFailure(spec=current, result=result, trace=trace,
+                         shrink_steps=steps)
+
+
+def _first_violation_time(result: VerifyResult) -> Optional[int]:
+    """Pull the earliest ``t=N`` annotation out of the verdict's
+    violation strings (both monitor and oracle violations carry one)."""
+    times = []
+    for text in result.violations:
+        for token in text.replace("]", " ").split():
+            if token.startswith("t=") and token[2:].isdigit():
+                times.append(int(token[2:]))
+                break
+    return min(times) if times else None
+
+
+# ----------------------------------------------------------------------
+# The full verification suite (three microbenchmarks by default)
+# ----------------------------------------------------------------------
+DEFAULT_VERIFY_WORKLOADS: Sequence[str] = (
+    "single-counter", "multiple-counter", "linked-list")
+
+
+@dataclass
+class VerifySuiteResult:
+    """Outcome of :func:`verify_suite` across several workloads."""
+
+    explorations: dict[str, ExplorationResult]
+    shrunk: Optional[ShrunkFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return all(e.ok for e in self.explorations.values())
+
+    def render(self) -> str:
+        lines = [e.summary() for e in self.explorations.values()]
+        if self.shrunk is not None:
+            lines += ["", self.shrunk.render()]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "workloads": {
+                name: {"ok": e.ok,
+                       "seeds": len(e.results),
+                       "failures": [r.to_dict() for r in e.failures],
+                       "total_txns": e.total_txns,
+                       "cache_hits": e.cache_hits,
+                       "wall_seconds": e.wall_seconds}
+                for name, e in self.explorations.items()},
+            "shrunk": None if self.shrunk is None else {
+                "spec": self.shrunk.spec.to_dict(),
+                "result": self.shrunk.result.to_dict(),
+                "trace": self.shrunk.trace,
+                "shrink_steps": self.shrunk.shrink_steps},
+        }
+
+
+def verify_suite(workloads: Sequence[str] = DEFAULT_VERIFY_WORKLOADS, *,
+                 scheme=None, num_cpus: int = 4, seeds: int = 100,
+                 ops: int = 96, chaos: int = 0, base_seed: int = 0,
+                 jobs: int = 1, timeout: Optional[float] = None,
+                 cache=None, options: Optional[VerifyOptions] = None,
+                 shrink: bool = True, progress=None) -> VerifySuiteResult:
+    """Explore every workload; shrink the first failing seed found."""
+    from repro.harness.config import SyncScheme, SystemConfig
+
+    scheme = scheme or SyncScheme.TLR
+    options = options or VerifyOptions()
+    explorations: dict[str, ExplorationResult] = {}
+    shrunk: Optional[ShrunkFailure] = None
+    for name in workloads:
+        config = SystemConfig(num_cpus=num_cpus, scheme=scheme,
+                              schedule_chaos=chaos)
+        size_key = SIZE_PARAM[name]
+        spec = RunSpec(workload=name, config=config,
+                       workload_args={size_key: ops})
+        exploration = explore(spec, seeds=seeds, base_seed=base_seed,
+                              jobs=jobs, timeout=timeout, cache=cache,
+                              options=options, progress=progress)
+        explorations[name] = exploration
+        if shrunk is None and shrink and exploration.failures:
+            failing = exploration.failures[0]
+            shrunk = shrink_failure(
+                spec.with_seed(failing.seed),
+                options=options, timeout=timeout)
+    return VerifySuiteResult(explorations=explorations, shrunk=shrunk)

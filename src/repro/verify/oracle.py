@@ -1,0 +1,225 @@
+"""Serializability oracle for TLR/SLE executions.
+
+Two independent checks over one :class:`~repro.verify.recorder.FootprintRecorder`:
+
+1. **Witness replay.**  The witness serial order is commit order.  The
+   oracle replays the recorder's chronological log against a sequential
+   reference memory: plain (non-transactional) writes apply in program
+   order; at each transaction commit, every value the transaction read
+   from architectural memory must equal the reference memory at that
+   point, then its write set applies atomically.  Finally the reference
+   memory must equal the machine's actual final memory image.  Any
+   mismatch means the concurrent execution is *not* equivalent to the
+   serial witness -- e.g. a lost update from a broken conflict decision.
+
+2. **Conflict-graph acyclicity.**  A direct serialization graph (DSG)
+   over *cache lines* -- the paper's conflict-detection granularity --
+   with ww, wr and rw (anti-dependency) edges between committed
+   transactions.  A cycle means no serial order at line granularity can
+   explain the execution, even if the value-level replay happened to
+   pass (e.g. silent A/B/A patterns).
+
+The oracle proves **conflict-serializability of committed transactions
+at cache-line granularity** -- see DESIGN.md for what that does *not*
+prove (full linearizability of the client data structure, liveness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cpu.isa import line_of
+from repro.verify.recorder import COMMIT, PLAIN_WRITE, FootprintRecorder
+
+
+@dataclass
+class OracleViolation:
+    """One serializability violation, with enough context to debug."""
+
+    kind: str          # "stale-read" | "final-state" | "cycle"
+    detail: str
+    txn_id: Optional[int] = None
+    cpu: Optional[int] = None
+    time: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = []
+        if self.txn_id is not None:
+            where.append(f"txn={self.txn_id}")
+        if self.cpu is not None:
+            where.append(f"cpu={self.cpu}")
+        if self.time is not None:
+            where.append(f"t={self.time}")
+        prefix = f"[{self.kind}" + (f" {' '.join(where)}" if where else "")
+        return f"{prefix}] {self.detail}"
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one oracle run."""
+
+    num_txns: int = 0
+    num_plain_writes: int = 0
+    edges: dict = field(default_factory=lambda: {"ww": 0, "wr": 0, "rw": 0})
+    violations: list[OracleViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "PASS" if self.ok else f"FAIL ({len(self.violations)})"
+        return (f"oracle {status}: {self.num_txns} txns, "
+                f"{self.num_plain_writes} plain writes, edges "
+                f"ww={self.edges['ww']} wr={self.edges['wr']} "
+                f"rw={self.edges['rw']}")
+
+
+class SerializabilityOracle:
+    """Checks one recorded execution for conflict-serializability."""
+
+    def __init__(self, recorder: FootprintRecorder,
+                 max_violations: int = 20):
+        self.recorder = recorder
+        self.max_violations = max_violations
+
+    def check(self, final_snapshot: Optional[dict[int, int]] = None
+              ) -> OracleReport:
+        """Run both checks; ``final_snapshot`` is the machine's final
+        memory image (``machine.store.snapshot()``) for the end-state
+        equivalence check (skipped when None)."""
+        report = OracleReport(num_txns=len(self.recorder.committed),
+                              num_plain_writes=self.recorder.plain_writes)
+        self._replay(report, final_snapshot)
+        self._check_graph(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Check 1: sequential replay in witness (commit) order
+    # ------------------------------------------------------------------
+    def _replay(self, report: OracleReport,
+                final_snapshot: Optional[dict[int, int]]) -> None:
+        ref: dict[int, int] = {}
+        committed = self.recorder.committed
+        for entry in self.recorder.log:
+            if len(report.violations) >= self.max_violations:
+                return
+            if entry[0] == PLAIN_WRITE:
+                _, _time, addr, value = entry
+                ref[addr] = value
+                continue
+            assert entry[0] == COMMIT
+            txn = committed[entry[1]]
+            for obs in txn.reads:
+                expect = ref.get(obs.addr, 0)
+                if obs.value != expect:
+                    report.violations.append(OracleViolation(
+                        kind="stale-read", txn_id=txn.txn_id, cpu=txn.cpu,
+                        time=obs.time,
+                        detail=(f"read addr {obs.addr:#x} saw {obs.value} "
+                                f"but the witness order implies {expect} "
+                                f"at commit t={txn.commit_time}")))
+            ref.update(txn.writes)
+        if final_snapshot is None:
+            return
+        addrs = set(ref) | set(final_snapshot)
+        for addr in sorted(addrs):
+            if len(report.violations) >= self.max_violations:
+                return
+            want = ref.get(addr, 0)
+            got = final_snapshot.get(addr, 0)
+            if want != got:
+                report.violations.append(OracleViolation(
+                    kind="final-state",
+                    detail=(f"addr {addr:#x}: witness replay ends with "
+                            f"{want}, machine memory holds {got}")))
+
+    # ------------------------------------------------------------------
+    # Check 2: line-granularity conflict graph (DSG) acyclicity
+    # ------------------------------------------------------------------
+    def _check_graph(self, report: OracleReport) -> None:
+        committed = self.recorder.committed
+        # Per-line version order = commit order of the line's writers.
+        writers: dict[int, list[int]] = {}
+        for txn in committed:
+            for line in sorted(txn.written_lines):
+                writers.setdefault(line, []).append(txn.txn_id)
+
+        edges: dict[int, set[int]] = {t.txn_id: set() for t in committed}
+
+        def add_edge(src: int, dst: int, kind: str) -> None:
+            if src == dst or dst in edges[src]:
+                return
+            edges[src].add(dst)
+            report.edges[kind] += 1
+
+        # ww: consecutive writers of each line.
+        for order in writers.values():
+            for a, b in zip(order, order[1:]):
+                add_edge(a, b, "ww")
+
+        for txn in committed:
+            for obs in txn.reads:
+                version = obs.line_writer
+                if version is not None:
+                    # wr: the writer whose line image this read observed
+                    # must precede the reader.
+                    add_edge(version, txn.txn_id, "wr")
+                # rw: the reader must precede the line's *next* writer
+                # after the version it read.
+                order = writers.get(obs.line, [])
+                if version is None:
+                    later = order
+                else:
+                    later = order[order.index(version) + 1:]
+                for writer in later:
+                    if writer != txn.txn_id:
+                        add_edge(txn.txn_id, writer, "rw")
+                        break
+
+        if len(report.violations) >= self.max_violations:
+            return
+        cycle = self._find_cycle(edges)
+        if cycle is not None:
+            path = " -> ".join(
+                f"txn{t}(cpu{committed[t].cpu})" for t in cycle)
+            report.violations.append(OracleViolation(
+                kind="cycle",
+                detail=f"conflict-graph cycle over cache lines: {path}"))
+
+    @staticmethod
+    def _find_cycle(edges: dict[int, set[int]]) -> Optional[list[int]]:
+        """Iterative DFS; returns one cycle (closed path) if any."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {node: WHITE for node in edges}
+        parent: dict[int, int] = {}
+        for root in edges:
+            if colour[root] != WHITE:
+                continue
+            stack: list[tuple[int, list]] = [(root, iter(sorted(edges[root])))]
+            colour[root] = GREY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if colour[nxt] == GREY:
+                        # Back edge node -> nxt closes a cycle; walk the
+                        # parent chain from node back to nxt to render it.
+                        cycle = [node]
+                        cur = node
+                        while cur != nxt:
+                            cur = parent[cur]
+                            cycle.append(cur)
+                        cycle.reverse()
+                        return cycle
+                    if colour[nxt] == WHITE:
+                        colour[nxt] = GREY
+                        parent[nxt] = node
+                        stack.append((nxt, iter(sorted(edges[nxt]))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return None

@@ -1,0 +1,173 @@
+"""Committed-transaction footprint recording.
+
+The serializability oracle needs, for every *committed* lock-free
+transaction, the values it read (and where they came from), the write
+set it published, and its commit instant -- plus the chronological log
+of every non-transactional architectural write, so the whole run can be
+replayed against a sequential reference.
+
+:class:`FootprintRecorder` collects all of that **non-invasively**, in
+the style of :meth:`repro.sim.trace.Tracer.attach`: it wraps the
+processors' architectural-read path and commit entry point and the
+machine's :class:`~repro.coherence.memory.ValueStore` write path with
+recording shims.  Nothing in the hot path changes when no recorder is
+attached, and the wrapped run is bit-identical to an unwrapped one (the
+shims only observe).
+
+Epoch tagging gives failure atomicity for free: read observations carry
+the processor's squash epoch, and a commit keeps only observations from
+the committing attempt -- reads made by restarted attempts are dropped,
+exactly as the hardware discards them.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.coherence.messages import Timestamp
+from repro.cpu.isa import line_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.machine import Machine
+
+
+@dataclass
+class ReadObservation:
+    """One transactional read that hit architectural memory.
+
+    ``writer`` / ``line_writer`` are the ids of the committed
+    transactions whose write this observation read at word / cache-line
+    granularity (None = the initial value or a non-transactional
+    write).  Reads satisfied by the processor's own write buffer are
+    *not* recorded -- read-your-own-writes is trivially consistent.
+    """
+
+    addr: int
+    value: int
+    line: int
+    writer: Optional[int]
+    line_writer: Optional[int]
+    epoch: int
+    time: int
+
+
+@dataclass
+class CommittedTxn:
+    """One committed lock-free critical-section execution."""
+
+    txn_id: int                     # dense commit-order index
+    cpu: int
+    ts: Optional[Timestamp]         # TLR timestamp (None under plain SLE)
+    commit_time: int
+    reads: list[ReadObservation]
+    writes: dict[int, int]          # committed write set (addr -> value)
+
+    @property
+    def read_lines(self) -> set[int]:
+        return {obs.line for obs in self.reads}
+
+    @property
+    def written_lines(self) -> set[int]:
+        return {line_of(addr) for addr in self.writes}
+
+
+# Log entry tags: ("w", time, addr, value) for a plain architectural
+# write, ("c", txn_id) for an atomic transaction commit.
+PLAIN_WRITE = "w"
+COMMIT = "c"
+
+
+class FootprintRecorder:
+    """Records commit-ordered transaction footprints from one machine."""
+
+    def __init__(self):
+        self.committed: list[CommittedTxn] = []
+        self.log: list[tuple] = []
+        self.plain_writes = 0
+        self._machine: Optional["Machine"] = None
+        # Per-cpu read observations of the *current* speculative attempt.
+        self._pending: dict[int, list[ReadObservation]] = {}
+        # addr / line -> txn id of the last committed transactional
+        # writer, or None after a non-transactional write.
+        self._last_writer: dict[int, Optional[int]] = {}
+        self._last_line_writer: dict[int, Optional[int]] = {}
+        self._in_commit = False
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach(self, machine: "Machine") -> "FootprintRecorder":
+        """Wrap the machine's processors and value store with recording
+        shims.  Call before ``run_workload``."""
+        self._machine = machine
+        for processor in machine.processors:
+            self._wrap_processor(processor)
+        self._wrap_store(machine)
+        return self
+
+    def _wrap_processor(self, processor) -> None:
+        cpu = processor.cpu_id
+        self._pending[cpu] = []
+        original_read = processor._arch_read
+        original_commit = processor.commit_transaction
+
+        @functools.wraps(original_read)
+        def arch_read(addr: int):
+            value = original_read(addr)
+            if (processor.spec.active
+                    and processor.write_buffer.read(addr) is None):
+                pending = self._pending[cpu]
+                if pending and pending[-1].epoch != processor.epoch:
+                    # A restart squashed the previous attempt's reads.
+                    pending.clear()
+                pending.append(ReadObservation(
+                    addr=addr, value=value, line=line_of(addr),
+                    writer=self._last_writer.get(addr),
+                    line_writer=self._last_line_writer.get(line_of(addr)),
+                    epoch=processor.epoch, time=processor.sim.now))
+            return value
+
+        @functools.wraps(original_commit)
+        def commit_transaction():
+            # Snapshot *before* the original drains the write buffer.
+            ts = processor.controller.current_ts
+            writes = processor.write_buffer.snapshot()
+            epoch = processor.epoch
+            reads = [obs for obs in self._pending[cpu]
+                     if obs.epoch == epoch]
+            self._pending[cpu] = []
+            txn = CommittedTxn(txn_id=len(self.committed), cpu=cpu, ts=ts,
+                               commit_time=processor.sim.now,
+                               reads=reads, writes=writes)
+            self.committed.append(txn)
+            self.log.append((COMMIT, txn.txn_id))
+            self._in_commit = True
+            try:
+                original_commit()
+            finally:
+                self._in_commit = False
+            for addr in writes:
+                self._last_writer[addr] = txn.txn_id
+                self._last_line_writer[line_of(addr)] = txn.txn_id
+
+        processor._arch_read = arch_read
+        processor.commit_transaction = commit_transaction
+
+    def _wrap_store(self, machine: "Machine") -> None:
+        store = machine.store
+        sim = machine.sim
+        original_write = store.write
+
+        @functools.wraps(original_write)
+        def write(addr: int, value) -> None:
+            original_write(addr, value)
+            if self._in_commit:
+                return  # commit drains are logged as one atomic entry
+            self.plain_writes += 1
+            self.log.append((PLAIN_WRITE, sim.now, addr, value))
+            self._last_writer[addr] = None
+            self._last_line_writer[line_of(addr)] = None
+
+        store.write = write

@@ -46,6 +46,28 @@ class TestCli:
         assert cli_main(["run", "single-counter", "--scheme",
                          "tlr-strict-ts", "--cpus", "2", "--ops", "32"]) == 0
 
+    def test_verify_passes_on_clean_tlr(self, capsys):
+        assert cli_main(["verify", "single-counter", "--cpus", "2",
+                         "--seeds", "3", "--ops", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "3 seeds" in out
+
+    def test_verify_json_output(self, capsys):
+        import json
+
+        assert cli_main(["verify", "single-counter", "--cpus", "2",
+                         "--seeds", "2", "--ops", "32", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["workloads"]["single-counter"]["seeds"] == 2
+
+    def test_verify_rejects_unknown_workload(self, capsys):
+        assert cli_main(["verify", "no-such-workload",
+                         "--seeds", "1"]) == 2
+
+    def test_verify_rejects_unknown_scheme(self, capsys):
+        assert cli_main(["verify", "--scheme", "XYZ", "--seeds", "1"]) == 2
+
 
 def _sweep() -> SweepResult:
     result = SweepResult(name="demo", processor_counts=[2, 4])

@@ -145,6 +145,42 @@ class TestTracer:
         text = tracer.render(kinds=["txn-commit"])
         assert "txn-commit" in text
 
+    def test_chrome_trace_export(self, tmp_path):
+        import json as jsonlib
+
+        cfg = small_config(2, SyncScheme.TLR)
+        machine = Machine(cfg)
+        tracer = Tracer().attach(machine)
+        machine.run_workload(single_counter(2, 64))
+        path = tmp_path / "trace.json"
+        written = tracer.to_chrome_trace(path)
+        assert written == len(tracer.events)
+        payload = jsonlib.loads(path.read_text())
+        events = payload["traceEvents"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == written
+        assert all(e["s"] == "t" for e in instants)
+        # One thread-name metadata record per cpu that traced anything.
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in meta} == {
+            f"cpu{e.cpu}" for e in tracer.events}
+        commit = next(e for e in instants if e["name"] == "txn-commit")
+        assert isinstance(commit["ts"], int) and commit["tid"] in (0, 1)
+
+    def test_chrome_trace_export_respects_filters(self, tmp_path):
+        import json as jsonlib
+
+        cfg = small_config(2, SyncScheme.TLR)
+        machine = Machine(cfg)
+        tracer = Tracer().attach(machine)
+        machine.run_workload(single_counter(2, 64))
+        path = tmp_path / "commits.json"
+        written = tracer.to_chrome_trace(path, kinds=["txn-commit"])
+        payload = jsonlib.loads(path.read_text())
+        instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        assert written == len(instants) > 0
+        assert all(e["name"] == "txn-commit" for e in instants)
+
 
 class TestMachineDump:
     def test_dump_state_is_nondestructive(self):

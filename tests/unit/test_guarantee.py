@@ -1,0 +1,75 @@
+"""Unit tests for the architectural footprint guarantee (Section 4)."""
+
+from dataclasses import replace
+
+from repro.harness.config import SpeculationConfig, SystemConfig
+from repro.tlr.guarantee import FootprintGuarantee, guaranteed_footprint
+
+
+def _config(**spec_overrides) -> SystemConfig:
+    config = SystemConfig()
+    if spec_overrides:
+        config = replace(config,
+                         spec=replace(config.spec, **spec_overrides))
+    return config
+
+
+class TestGuaranteedFootprint:
+    def test_paper_worked_example(self):
+        # Section 4: 4-way cache + 16-entry victim cache guarantees a
+        # 20-line footprint; one slot goes to the elided lock's line.
+        config = _config()
+        assert config.cache.assoc == 4
+        assert config.cache.victim_entries == 16
+        guarantee = guaranteed_footprint(config)
+        assert guarantee.total_lines == 19
+
+    def test_write_buffer_smaller_than_total_lines(self):
+        guarantee = guaranteed_footprint(_config(write_buffer_entries=8))
+        assert guarantee.total_lines == 19
+        assert guarantee.written_lines == 8
+
+    def test_write_buffer_larger_than_total_lines_is_clamped(self):
+        guarantee = guaranteed_footprint(_config(write_buffer_entries=64))
+        assert guarantee.written_lines == guarantee.total_lines == 19
+
+    def test_nesting_depth_zero(self):
+        guarantee = guaranteed_footprint(_config(elision_depth=0))
+        assert guarantee.nesting_depth == 0
+        # Depth 0 admits nothing: even a flat transaction needs one
+        # tracked elision level.
+        assert not guarantee.admits(1, nesting=1)
+        assert guarantee.admits(1, nesting=0)
+
+    def test_nesting_depth_one(self):
+        guarantee = guaranteed_footprint(_config(elision_depth=1))
+        assert guarantee.admits(4, written_lines=2, nesting=1)
+        assert not guarantee.admits(4, written_lines=2, nesting=2)
+
+
+class TestAdmitsBoundaries:
+    guarantee = FootprintGuarantee(total_lines=8, written_lines=4,
+                                   nesting_depth=2)
+
+    def test_exact_total_budget_admitted(self):
+        assert self.guarantee.admits(4, written_lines=4)
+
+    def test_one_past_total_budget_rejected(self):
+        assert not self.guarantee.admits(5, written_lines=4)
+
+    def test_reads_alone_up_to_total(self):
+        assert self.guarantee.admits(8)
+        assert not self.guarantee.admits(9)
+
+    def test_written_lines_boundary(self):
+        # Writes count against both budgets: exactly written_lines
+        # writes pass, one more fails even with total budget to spare.
+        assert self.guarantee.admits(0, written_lines=4)
+        assert not self.guarantee.admits(0, written_lines=5)
+
+    def test_nesting_boundary(self):
+        assert self.guarantee.admits(1, nesting=2)
+        assert not self.guarantee.admits(1, nesting=3)
+
+    def test_zero_footprint_admitted(self):
+        assert self.guarantee.admits(0, written_lines=0, nesting=0)

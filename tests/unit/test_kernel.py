@@ -156,3 +156,57 @@ def test_arguments_passed_to_callback():
     sim.schedule(1, lambda a, b: got.append((a, b)), 1, "two")
     sim.run()
     assert got == [(1, "two")]
+
+
+def test_run_until_at_max_cycles_returns_for_resumption():
+    """Regression: ``run(until=N)`` with ``N == max_cycles`` used to
+    raise SimulationError instead of pausing -- an explicit ``until``
+    is a pause request even at the budget boundary."""
+    sim = Simulator(max_cycles=10)
+    fired = []
+    sim.schedule(5, fired.append, "early")
+    sim.schedule(50, fired.append, "late")  # beyond the budget
+    assert sim.run(until=10) == 10  # pauses instead of raising
+    assert fired == ["early"]
+    with pytest.raises(SimulationError):
+        sim.run()  # resuming without a pause request overruns at 10
+
+
+def test_run_until_past_max_cycles_still_raises():
+    sim = Simulator(max_cycles=10)
+    sim.schedule(100, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.run(until=11)
+
+
+def test_choice_hook_reorders_same_cycle_events():
+    sim = Simulator()
+    fired = []
+    # Reverse priority: later-scheduled events get lower prio values.
+    order = iter([3, 2, 1])
+    sim.set_choice_hook(lambda label: next(order))
+    for tag in "abc":
+        sim.schedule(7, fired.append, tag)
+    sim.run()
+    assert fired == ["c", "b", "a"]
+
+
+def test_choice_hook_ties_fall_back_to_fifo():
+    sim = Simulator()
+    fired = []
+    sim.set_choice_hook(lambda label: 0)
+    for tag in range(4):
+        sim.schedule(7, fired.append, tag)
+    sim.run()
+    assert fired == list(range(4))
+
+
+def test_choice_hook_never_reorders_across_cycles():
+    sim = Simulator()
+    fired = []
+    sim.set_choice_hook(lambda label: 99)
+    sim.schedule(5, fired.append, "early")
+    sim.set_choice_hook(lambda label: 0)
+    sim.schedule(6, fired.append, "late")
+    sim.run()
+    assert fired == ["early", "late"]

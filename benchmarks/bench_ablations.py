@@ -24,7 +24,7 @@ from repro.harness.runner import run
 from repro.workloads.apps import cholesky
 from repro.workloads.microbench import linked_list, single_counter
 
-from conftest import emit, scale
+from conftest import bench_json, emit, scale
 
 
 def _cfg(num_cpus=8, scheme=SyncScheme.TLR, **spec_overrides):
@@ -48,6 +48,10 @@ def test_ablation_retention_policy(benchmark):
     result = benchmark.pedantic(sweep, rounds=1, iterations=1)
     emit("ablation-retention-policy", "\n".join(
         f"{k:<18}{v}" for k, v in result.items()))
+    bench_json("ablation_retention_policy", benchmark,
+               config={"num_cpus": 8, "ops": 512 * scale(),
+                       "policies": ["defer", "nack"]},
+               results=dict(result))
     benchmark.extra_info.update(result)
     assert result["defer/nacks"] == 0
     assert result["nack/nacks"] > 0
@@ -67,6 +71,9 @@ def test_ablation_single_block_relaxation(benchmark):
     result = benchmark.pedantic(sweep, rounds=1, iterations=1)
     emit("ablation-single-block-relaxation", "\n".join(
         f"{k:<18}{v}" for k, v in result.items()))
+    bench_json("ablation_single_block_relaxation", benchmark,
+               config={"num_cpus": 8, "ops": 512 * scale()},
+               results=dict(result))
     benchmark.extra_info.update(result)
     assert result["relaxed/restarts"] < result["strict/restarts"]
     assert result["relaxed/cycles"] <= result["strict/cycles"]
@@ -91,6 +98,9 @@ def test_ablation_write_buffer_capacity(benchmark):
     result = benchmark.pedantic(sweep, rounds=1, iterations=1)
     emit("ablation-write-buffer", "\n".join(
         f"{k:<18}{v}" for k, v in result.items()))
+    bench_json("ablation_write_buffer", benchmark,
+               config={"num_cpus": 8, "write_buffer_entries": [8, 16, 64]},
+               results=dict(result))
     benchmark.extra_info.update(result)
     # With an 8-line buffer every column update overflows, the elision
     # predictor learns the column locks are hopeless, and far fewer
@@ -112,6 +122,10 @@ def test_ablation_restart_backoff(benchmark):
     result = benchmark.pedantic(sweep, rounds=1, iterations=1)
     emit("ablation-restart-backoff", "\n".join(
         f"{k:<22}{v}" for k, v in result.items()))
+    bench_json("ablation_restart_backoff", benchmark,
+               config={"num_cpus": 8, "ops": 512 * scale(),
+                       "backoff_steps": [0, 20, 60]},
+               results=dict(result))
     benchmark.extra_info.update(result)
     # Backoff suppresses the restart storm under strict timestamps.
     assert result["backoff20/restarts"] < result["backoff0/restarts"]
@@ -135,6 +149,10 @@ def test_ablation_data_network_bandwidth(benchmark):
     result = benchmark.pedantic(sweep, rounds=1, iterations=1)
     emit("ablation-data-bandwidth", "\n".join(
         f"{k:<28}{v}" for k, v in result.items()))
+    bench_json("ablation_data_bandwidth", benchmark,
+               config={"num_cpus": 8, "ops": 512 * scale(),
+                       "bandwidth_intervals": [0, 4, 16]},
+               results=dict(result))
     benchmark.extra_info.update(result)
     # Throttling never speeds anything up.
     assert result["bw16/BASE"] >= result["bw0/BASE"]
@@ -154,4 +172,8 @@ def test_ablation_untimestamped_policy(benchmark):
     result = benchmark.pedantic(sweep, rounds=1, iterations=1)
     emit("ablation-untimestamped-policy", "\n".join(
         f"{k:<18}{v}" for k, v in result.items()))
+    bench_json("ablation_untimestamped_policy", benchmark,
+               config={"num_cpus": 4, "ops": 256 * scale(),
+                       "policies": ["defer", "abort"]},
+               results=dict(result))
     benchmark.extra_info.update(result)

@@ -9,7 +9,7 @@ generated; we report restarts, deferrals, and committed elisions.
 from repro.harness.experiments import figure7_queue_on_data
 from repro.harness.report import dict_table
 
-from conftest import emit, scale
+from conftest import bench_json, emit, scale
 
 
 def test_figure7(benchmark):
@@ -18,6 +18,9 @@ def test_figure7(benchmark):
         kwargs={"num_cpus": 4, "total_increments": 256 * scale()},
         rounds=1, iterations=1)
     emit("figure7-queue-on-data", dict_table(result))
+    bench_json("fig07_queue", benchmark,
+               config={"num_cpus": 4, "total_increments": 256 * scale()},
+               results=dict(result))
     benchmark.extra_info.update(result)
     assert result["elisions_committed"] == result["critical_sections"] \
         or result["restarts"] < result["critical_sections"] // 4

@@ -10,7 +10,8 @@ from repro.harness.config import SyncScheme
 from repro.harness.experiments import figure8_multiple_counter
 from repro.harness.report import ascii_series, sweep_table
 
-from conftest import emit, engine_kwargs, processor_counts, scale
+from conftest import (bench_json, emit, engine_kwargs, processor_counts,
+                      scale, sweep_results)
 
 
 def test_figure8(benchmark):
@@ -22,6 +23,10 @@ def test_figure8(benchmark):
         rounds=1, iterations=1)
     emit("figure8-multiple-counter",
          sweep_table(result) + "\n\n" + ascii_series(result))
+    bench_json("fig08_multiple_counter", benchmark,
+               config={"total_increments": 1024 * scale(),
+                       "processor_counts": list(processor_counts())},
+               results=sweep_results(result))
     for scheme, series in result.series.items():
         benchmark.extra_info[scheme.value] = series
     # Shape assertions (the paper's qualitative claims).

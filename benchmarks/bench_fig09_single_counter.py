@@ -12,7 +12,8 @@ from repro.harness.config import SyncScheme
 from repro.harness.experiments import figure9_single_counter
 from repro.harness.report import ascii_series, sweep_table
 
-from conftest import emit, engine_kwargs, processor_counts, scale
+from conftest import (bench_json, emit, engine_kwargs, processor_counts,
+                      scale, sweep_results)
 
 
 def test_figure9(benchmark):
@@ -24,6 +25,10 @@ def test_figure9(benchmark):
         rounds=1, iterations=1)
     emit("figure9-single-counter",
          sweep_table(result) + "\n\n" + ascii_series(result))
+    bench_json("fig09_single_counter", benchmark,
+               config={"total_increments": 512 * scale(),
+                       "processor_counts": list(processor_counts())},
+               results=sweep_results(result))
     for scheme, series in result.series.items():
         benchmark.extra_info[scheme.value] = series
     n = result.processor_counts[-1]

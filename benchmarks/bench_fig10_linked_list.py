@@ -9,7 +9,8 @@ from repro.harness.config import SyncScheme
 from repro.harness.experiments import figure10_linked_list
 from repro.harness.report import ascii_series, sweep_table
 
-from conftest import emit, engine_kwargs, processor_counts, scale
+from conftest import (bench_json, emit, engine_kwargs, processor_counts,
+                      scale, sweep_results)
 
 
 def test_figure10(benchmark):
@@ -21,6 +22,10 @@ def test_figure10(benchmark):
         rounds=1, iterations=1)
     emit("figure10-linked-list",
          sweep_table(result) + "\n\n" + ascii_series(result))
+    bench_json("fig10_linked_list", benchmark,
+               config={"total_ops": 512 * scale(),
+                       "processor_counts": list(processor_counts())},
+               results=sweep_results(result))
     for scheme, series in result.series.items():
         benchmark.extra_info[scheme.value] = series
     n = result.processor_counts[-1]

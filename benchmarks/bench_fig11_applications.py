@@ -12,7 +12,7 @@ from repro.harness.config import SyncScheme
 from repro.harness.experiments import figure11_applications
 from repro.harness.report import figure11_table, speedup_summary
 
-from conftest import emit, engine_kwargs
+from conftest import bench_json, emit, engine_kwargs
 
 
 def test_figure11(benchmark):
@@ -21,6 +21,13 @@ def test_figure11(benchmark):
                                  rounds=1, iterations=1)
     emit("figure11-applications",
          figure11_table(results) + "\n" + speedup_summary(results))
+    bench_json("fig11_applications", benchmark,
+               config={"num_cpus": 16},
+               results={name: {
+                   "cycles": {s.value: c for s, c in app.cycles.items()},
+                   "speedups_over_base": {
+                       s.value: app.speedup(s) for s in app.cycles},
+               } for name, app in results.items()})
     for name, app in results.items():
         benchmark.extra_info[name] = {
             scheme.value: cycles for scheme, cycles in app.cycles.items()}

@@ -12,7 +12,7 @@ from repro.harness.config import SyncScheme, SystemConfig
 from repro.harness.runner import run
 from repro.workloads.microbench import linked_list, single_counter
 
-from conftest import emit, scale
+from conftest import bench_json, emit, scale
 
 
 def test_protocol_comparison(benchmark):
@@ -31,6 +31,15 @@ def test_protocol_comparison(benchmark):
     result = benchmark.pedantic(sweep, rounds=1, iterations=1)
     emit("protocol-comparison", "\n".join(
         f"{k:<36}{v}" for k, v in result.items()))
+    bench_json("protocols", benchmark,
+               config={"num_cpus": 8, "ops": 512 * scale(),
+                       "protocols": ["snoop", "directory"]},
+               results={"cycles": dict(result),
+                        "speedups_over_base": {
+                            f"{p}/{w}": result[f"{p}/{w}/BASE"]
+                            / result[f"{p}/{w}/BASE+SLE+TLR"]
+                            for p in ("snoop", "directory")
+                            for w in ("single", "list")}})
     benchmark.extra_info.update(result)
     for protocol in ("snoop", "directory"):
         for name in ("single", "list"):

@@ -10,7 +10,7 @@ memory behaviour) -- the paper reports coarse-TLR beating fine-BASE by
 from repro.harness.experiments import table_coarse_vs_fine
 from repro.harness.report import dict_table
 
-from conftest import emit, engine_kwargs
+from conftest import bench_json, emit, engine_kwargs
 
 
 def test_coarse_vs_fine(benchmark):
@@ -18,6 +18,8 @@ def test_coarse_vs_fine(benchmark):
                                 kwargs={"num_cpus": 16, **engine_kwargs()},
                                 rounds=1, iterations=1)
     emit("table-coarse-vs-fine", dict_table(result))
+    bench_json("tab_coarse_vs_fine", benchmark,
+               config={"num_cpus": 16}, results=dict(result))
     benchmark.extra_info.update(
         {k: v for k, v in result.items() if isinstance(v, (int, float))})
     assert result["speedup_tlr_coarse_over_base_fine"] > 1.3

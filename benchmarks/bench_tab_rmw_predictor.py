@@ -9,7 +9,7 @@ BASE case highly optimized and TLR's reported gains conservative.
 from repro.harness.experiments import table_rmw_predictor
 from repro.harness.report import dict_table
 
-from conftest import emit, engine_kwargs
+from conftest import bench_json, emit, engine_kwargs
 
 
 def test_rmw_predictor(benchmark):
@@ -17,6 +17,9 @@ def test_rmw_predictor(benchmark):
                                 kwargs={"num_cpus": 16, **engine_kwargs()},
                                 rounds=1, iterations=1)
     emit("table-rmw-predictor", dict_table(result, "BASE / BASE-no-opt"))
+    bench_json("tab_rmw_predictor", benchmark,
+               config={"num_cpus": 16},
+               results={"speedups_base_over_base_noopt": dict(result)})
     benchmark.extra_info.update(result)
     # The predictor never hurts and helps at least one application.
     assert all(speedup > 0.95 for speedup in result.values())

@@ -4,7 +4,10 @@ Each benchmark regenerates one of the paper's tables or figures: it runs
 the experiment sweep, prints the same rows/series the paper reports (so
 ``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation on
 a terminal), attaches the numbers as ``extra_info`` for machine
-consumption, and writes a text artifact under ``benchmarks/out/``.
+consumption, writes a text artifact under ``benchmarks/out/``, and
+drops a machine-readable ``BENCH_<name>.json`` at the repo root via
+:func:`bench_json` (schema: the sweep's configuration knobs, the raw
+per-point results, and the measured wall time).
 
 Scale knobs: ``REPRO_BENCH_SCALE`` (default 1) multiplies workload
 sizes; ``REPRO_BENCH_FULL=1`` switches to the full processor-count sweep
@@ -18,10 +21,12 @@ to serial); ``REPRO_BENCH_CACHE=1`` enables the on-disk result cache
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 OUT_DIR = Path(__file__).parent / "out"
+REPO_ROOT = Path(__file__).parent.parent
 
 
 def scale() -> int:
@@ -50,3 +55,38 @@ def emit(name: str, text: str) -> None:
     banner = f"\n===== {name} =====\n{text}\n"
     print(banner)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def sweep_results(result) -> dict:
+    """Flatten a SweepResult into the BENCH json ``results`` shape:
+    per-scheme cycles at each processor count plus speedups over BASE
+    (``None`` where a run failed)."""
+    cycles = {scheme.value: list(series)
+              for scheme, series in result.series.items()}
+    out = {"processor_counts": list(result.processor_counts),
+           "cycles": cycles}
+    base = cycles.get("BASE")
+    if base:
+        out["speedups_over_base"] = {
+            name: [b / c if b and c else None
+                   for b, c in zip(base, series)]
+            for name, series in cycles.items()}
+    return out
+
+
+def bench_json(name: str, benchmark, config: dict, results: dict) -> None:
+    """Write ``BENCH_<name>.json`` at the repo root.
+
+    ``config`` holds the sweep's knobs (scale, processor counts, seeds,
+    ...), ``results`` the raw numbers (per-point cycles / speedups).
+    The measured wall time comes from pytest-benchmark's stats when
+    available (``None`` under ``--benchmark-disable``).
+    """
+    try:
+        wall = float(benchmark.stats.stats.mean)
+    except Exception:
+        wall = None
+    payload = {"bench": name, "config": config, "results": results,
+               "wall_seconds": wall}
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -7,6 +7,8 @@ writing code, and runs individual workloads under chosen schemes::
     python -m repro figure11 --cpus 16 --json
     python -m repro run single-counter --scheme TLR --cpus 8 --ops 2048
     python -m repro coarse-vs-fine
+    python -m repro policies --policy timestamp,backoff --jobs 4
+    python -m repro verify --policy requester-wins --seeds 25
     python -m repro list
 
 Every experiment accepts the sweep-engine options:
@@ -122,7 +124,33 @@ def _build_parser() -> argparse.ArgumentParser:
     verify_cmd.add_argument("--base-seed", type=int, default=0)
     verify_cmd.add_argument("--no-shrink", action="store_true",
                             help="report failing seeds without shrinking")
+    verify_cmd.add_argument("--policy", type=str, default=None,
+                            help="contention policy to verify under "
+                                 "(default: the paper's timestamp "
+                                 "deferral)")
     _engine_opts(verify_cmd)
+
+    policies_cmd = sub.add_parser(
+        "policies", help="contention-policy grid (policies x workloads "
+                         "x processors), every run oracle-checked")
+    policies_cmd.add_argument(
+        "--policy", type=str, default=None,
+        help="comma-separated policies (default: all four)")
+    policies_cmd.add_argument(
+        "--workloads", type=str, default=None,
+        help="comma-separated workloads (default: single-counter, "
+             "linked-list, ocean-cont, barnes)")
+    policies_cmd.add_argument("--procs", type=_parse_procs,
+                              default=(2, 4, 8),
+                              help="comma-separated processor counts")
+    policies_cmd.add_argument("--seeds", type=int, default=3,
+                              help="seeds per grid cell")
+    policies_cmd.add_argument("--ops", type=int, default=96,
+                              help="microbenchmark size per run")
+    policies_cmd.add_argument("--app-scale", type=int, default=12,
+                              help="application-kernel scale per run")
+    policies_cmd.add_argument("--base-seed", type=int, default=0)
+    _engine_opts(policies_cmd)
 
     runner = sub.add_parser("run", help="run one workload")
     runner.add_argument("workload", choices=sorted(WORKLOAD_BUILDERS))
@@ -254,18 +282,53 @@ def main(argv: Optional[list[str]] = None) -> int:
                       f"{' '.join(sorted(WORKLOAD_BUILDERS))}",
                       file=sys.stderr)
                 return 2
+        from repro.policies import POLICY_NAMES
+        if args.policy is not None and args.policy not in POLICY_NAMES:
+            print(f"unknown policy {args.policy}; one of "
+                  f"{' '.join(POLICY_NAMES)}", file=sys.stderr)
+            return 2
         result = experiments.verify(
             workloads=args.workloads or None,
             scheme=scheme_from_str(scheme_name.replace("-", "_")),
             num_cpus=args.cpus, seeds=args.seeds, ops=args.ops,
             chaos=args.chaos, base_seed=args.base_seed,
-            shrink=not args.no_shrink, **_engine_kwargs(args))
+            shrink=not args.no_shrink, policy=args.policy,
+            **_engine_kwargs(args))
         if args.json:
             print(json.dumps(result.to_dict(), indent=2))
         else:
             print(result.render())
             _print_telemetry()
         return 0 if result.ok else 1
+
+    if args.command == "policies":
+        from repro.policies import POLICY_NAMES
+        policies = (tuple(args.policy.split(","))
+                    if args.policy else None)
+        for name in policies or ():
+            if name not in POLICY_NAMES:
+                print(f"unknown policy {name}; one of "
+                      f"{' '.join(POLICY_NAMES)}", file=sys.stderr)
+                return 2
+        workloads = (tuple(args.workloads.split(","))
+                     if args.workloads else None)
+        for name in workloads or ():
+            if name not in WORKLOAD_BUILDERS:
+                print(f"unknown workload {name}; one of "
+                      f"{' '.join(sorted(WORKLOAD_BUILDERS))}",
+                      file=sys.stderr)
+                return 2
+        grid = experiments.policy_grid(
+            policies=policies, workloads=workloads,
+            processor_counts=args.procs, seeds=args.seeds,
+            ops=args.ops, app_scale=args.app_scale,
+            base_seed=args.base_seed, **_engine_kwargs(args))
+        if args.json:
+            print(json.dumps(grid.to_dict(), indent=2))
+        else:
+            print(report.policy_grid_table(grid))
+            _print_telemetry()
+        return 0 if grid.ok else 1
 
     if args.command == "run":
         scheme_name = args.scheme.upper().replace("_", "-")

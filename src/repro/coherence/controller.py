@@ -21,6 +21,13 @@ the TLR concurrency control *alongside* the unmodified MOESI protocol:
   conflict and no other miss outstanding (deadlock is impossible), unless
   configured strict (the TLR-strict-ts curve of Figure 9).
 
+*Which* side of a conflict wins -- and how losers are paced -- is decided
+by the configured :class:`~repro.policies.base.ContentionPolicy`
+(``config.spec.contention_policy``); the controller owns all protocol
+mechanics (deferred queue, markers/probes, NACK transport) and maps the
+policy's verdicts onto them.  The default ``timestamp`` policy replays
+the paper's rules bit-identically.
+
 Plain SLE (no TLR) uses the same controller with ``tlr_enabled`` false:
 conflicts simply trigger misspeculation and the request is serviced.
 """
@@ -33,9 +40,11 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.coherence.cache import CacheArray, CapacityError
 from repro.coherence.messages import (MEMORY, BusRequest, Marker, Probe,
-                                      ReqKind, Timestamp, beats)
+                                      ReqKind, Timestamp)
 from repro.coherence.mshr import MshrFile
 from repro.coherence.states import Line, State
+from repro.policies import make_policy
+from repro.policies.base import ConflictContext, PolicyDecision
 from repro.tlr.deferral import ChainState, DeferredQueue
 from repro.harness.config import SystemConfig
 from repro.sim.kernel import Simulator
@@ -52,6 +61,7 @@ class Decision(enum.Enum):
     SERVE = "serve"
     DEFER = "defer"
     LOSE = "lose"
+    SERVE_ABORT = "serve-abort"  # serve the data, abort the *requester*
 
 
 # How often a waiter re-champions its timestamp upstream (cycles).
@@ -82,6 +92,9 @@ class CacheController:
         self.speculating = False
         self.tlr_enabled = config.scheme.is_tlr
         self.current_ts: Optional[Timestamp] = None
+        # Conflict-resolution policy (repro.policies); per-controller
+        # because policies may carry per-processor state (priorities).
+        self.policy = make_policy(config, cpu_id)
         # Callback into the processor, wired by the machine builder.
         self.on_misspeculation: Callable[[str, int], None] = \
             lambda reason, line: None
@@ -134,8 +147,9 @@ class CacheController:
             return False
         kind = self._miss_kind(line, need_writable)
         ts = self.current_ts if self.speculating else None
+        prio = self.policy.request_priority() if self.speculating else 0
         request = BusRequest(kind=kind, line=line_addr, requester=self.cpu_id,
-                             ts=ts, is_lock=is_lock)
+                             ts=ts, is_lock=is_lock, prio=prio)
         if kind is ReqKind.UPG:
             self.stats.upgrades += 1
         mshr = self.mshrs.allocate(request, self.sim.now)
@@ -312,8 +326,9 @@ class CacheController:
     def _must_release_before_miss(self, new_line: int) -> bool:
         """Two situations force a release before taking a new miss:
 
-        * the transaction still holds a relaxation-deferred request with
-          an *earlier* timestamp -- taking another miss could now
+        * the policy says so -- under the paper's timestamp policy, when
+          the transaction still holds a relaxation-deferred request with
+          an *earlier* timestamp: taking another miss could now
           deadlock, so strict timestamp order is enforced (Section 3.2);
         * the new miss targets a line we are ourselves deferring -- our
           own request would queue behind the very chain we are stalling
@@ -322,8 +337,24 @@ class CacheController:
         """
         if new_line in self.deferred.lines():
             return True
-        earliest = self.deferred.earliest_ts()
-        return earliest is not None and beats(earliest, self.current_ts)
+        return self.policy.must_release_before_miss(self.deferred,
+                                                    self.current_ts)
+
+    def _policy_ctx(self, request: BusRequest,
+                    at_snoop: bool = False) -> ConflictContext:
+        """Package one conflict for the contention policy."""
+        _, written = self._accessed_in_txn(request.line)
+        has_miss = any(m.in_txn and m.line != request.line
+                       for m in self.mshrs)
+        return ConflictContext(
+            line=request.line, requester=request.requester,
+            holder=self.cpu_id, requester_ts=request.ts,
+            holder_ts=self.current_ts, is_write=request.kind.is_write,
+            holder_wrote=written,
+            relaxation_ok=self._relaxation_ok(request.line),
+            requester_prio=request.prio, holder_has_miss=has_miss,
+            holder_retries=self.policy.retries, at_snoop=at_snoop,
+            now=self.sim.now)
 
     def _decide(self, request: BusRequest) -> Decision:
         if not self._conflicts(request):
@@ -332,19 +363,14 @@ class CacheController:
         if not self.tlr_enabled:
             # Plain SLE: a data conflict simply kills the speculation.
             return Decision.LOSE
-        if request.ts is None:
-            if self.config.spec.untimestamped_policy == "abort":
-                # Conservative data-race reaction (Section 2.2's first
-                # approach): a conflicting access from outside any
-                # critical section kills the speculation.
-                return Decision.LOSE
-            # Default: treated as the latest timestamp in the system,
-            # ordered after this transaction (the second approach).
-            return Decision.DEFER
-        if beats(request.ts, self.current_ts):
-            if self._relaxation_ok(request.line):
-                return Decision.DEFER
+        verdict = self.policy.resolve(self._policy_ctx(request))
+        if verdict is PolicyDecision.ABORT_HOLDER:
             return Decision.LOSE
+        if verdict is PolicyDecision.ABORT_REQUESTER:
+            return Decision.SERVE_ABORT
+        # DEFER -- or NACK_RETRY past the order point, where a refusal
+        # is no longer possible and retention falls back to deferral
+        # (the chained-request corner of the NACK policy).
         return Decision.DEFER
 
     # ------------------------------------------------------------------
@@ -352,11 +378,11 @@ class CacheController:
     # ------------------------------------------------------------------
     # -- NACK-based retention (the alternative policy of Section 3) ----
     def would_nack(self, request: BusRequest) -> bool:
-        """Snoop-time check under the NACK retention policy: refuse a
+        """Snoop-time check under a NACK-retaining policy: refuse a
         conflicting request we would win, forcing the requester to
         retry.  Only data present in an exclusively-owned state can be
         retained this way."""
-        if self.config.spec.retention_policy != "nack":
+        if not self.policy.uses_nack:
             return False
         if not self.tlr_enabled or not self.speculating:
             return False
@@ -367,11 +393,19 @@ class CacheController:
         if not self._conflicts(request):
             return False
         self.on_conflict_ts(request.ts)
-        if beats(request.ts, self.current_ts) \
-                and not self._relaxation_ok(request.line):
-            return False  # the incoming request wins; it must be served
-        self.stats.nacks_sent += 1
-        return True
+        verdict = self.policy.resolve(self._policy_ctx(request,
+                                                       at_snoop=True))
+        if verdict is PolicyDecision.NACK_RETRY:
+            self.stats.nacks_sent += 1
+            return True
+        if verdict is PolicyDecision.ABORT_REQUESTER:
+            # Refuse *and* kill: the requester's transaction restarts
+            # before its retry (carried on the request; consumed by
+            # handle_nack).
+            request.abort_on_nack = True  # type: ignore[attr-defined]
+            self.stats.nacks_sent += 1
+            return True
+        return False  # the incoming request wins; it must be served
 
     def handle_nack(self, request: BusRequest) -> None:
         """Our request was refused: back off and re-arbitrate."""
@@ -379,9 +413,15 @@ class CacheController:
         if mshr is None or mshr.request.req_id != request.req_id:
             return
         self.stats.nacks_received += 1
+        self.policy.on_nacked(request)
+        if getattr(request, "abort_on_nack", False):
+            request.abort_on_nack = False  # type: ignore[attr-defined]
+            if self.speculating and mshr.in_txn:
+                self._handle_loss("aborted-by-holder", request.line,
+                                  request.ts)
         mshr.ordered = False
         request.order_time = None
-        self.sim.schedule(self.config.spec.nack_retry_delay,
+        self.sim.schedule(self.policy.nack_delay(request),
                           self._reissue_after_nack, request,
                           label=f"nack-retry {request!r}")
 
@@ -389,6 +429,10 @@ class CacheController:
         mshr = self.mshrs.get(request.line)
         if mshr is None or mshr.request.req_id != request.req_id:
             return
+        if self.speculating and mshr.in_txn:
+            # Refresh the carried priority: it may have grown while the
+            # request waited out the NACK.
+            request.prio = self.policy.request_priority()
         self.bus.issue(request)
 
     def request_ordered(self, request: BusRequest, grant: State) -> None:
@@ -444,6 +488,14 @@ class CacheController:
                               label=f"svc {request!r}")
         elif decision is Decision.DEFER:
             self._defer(request)
+        elif decision is Decision.SERVE_ABORT:
+            # Serve the data but kill the requester's transaction (the
+            # ABORT_REQUESTER policy verdict): it consumes the value
+            # outside any speculation the holder must order against.
+            self._send_remote_abort(request)
+            self.sim.schedule(self.config.cache.hit_latency,
+                              self._service_obligation, request,
+                              label=f"svc {request!r}")
         else:
             self._handle_loss("conflict-lost", request.line, request.ts)
             self.sim.schedule(self.config.cache.hit_latency,
@@ -464,8 +516,8 @@ class CacheController:
             self._propagate_probe(request.line, request.ts,
                                   origin=request.requester)
             if (self._conflicts(request)
-                    and beats(request.ts, self.current_ts)
-                    and not self._relaxation_ok(request.line)):
+                    and self.policy.resolve(self._policy_ctx(request))
+                    is PolicyDecision.ABORT_HOLDER):
                 # We already know we lose this line: restart now and pass
                 # the data through when it arrives.
                 mshr.pass_through = True
@@ -500,6 +552,19 @@ class CacheController:
             return
         if chain.queue_probe(ts):
             self._send_probe(chain.upstream, line_addr, ts, origin)
+
+    def _send_remote_abort(self, request: BusRequest) -> None:
+        """Tell the requester its transaction lost (ABORT_REQUESTER)."""
+        target = self.bus.controllers.get(request.requester)
+        if target is not None:
+            self.datanet.send_control(target.remote_abort, request.line,
+                                      self.current_ts,
+                                      label=f"rabort {request.line:#x}")
+
+    def remote_abort(self, line_addr: int, ts: Optional[Timestamp]) -> None:
+        """A holder served our request but killed our speculation."""
+        if self.speculating:
+            self._handle_loss("aborted-by-holder", line_addr, ts)
 
     def _send_probe(self, target_id: int, line_addr: int, ts: Timestamp,
                     origin: int) -> None:
@@ -544,7 +609,7 @@ class CacheController:
             # intervening restart.
             return False
         self.on_conflict_ts(ts)
-        return beats(ts, self.current_ts)
+        return self.policy.probe_beats(ts, self.current_ts)
 
     def handle_invalidation(self, request: BusRequest) -> None:
         """We hold a shared copy being invalidated.  Invalidations cannot

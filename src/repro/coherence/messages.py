@@ -61,7 +61,10 @@ class BusRequest:
     ``ts`` is the issuing transaction's timestamp (None outside TLR mode).
     ``is_lock`` tags requests to lock variables for the Figure 11 stall
     breakdown.  ``order_time`` is stamped by the bus when the request
-    reaches its global order point.
+    reaches its global order point.  ``prio`` carries the issuing
+    transaction's accumulated contention-manager priority (used only by
+    priority-ordered policies such as ``backoff``; always 0 under the
+    paper's timestamp policies).
     """
 
     kind: ReqKind
@@ -69,6 +72,7 @@ class BusRequest:
     requester: int
     ts: Optional[Timestamp] = None
     is_lock: bool = False
+    prio: int = 0
     req_id: int = field(default_factory=lambda: next(_request_ids))
     order_time: Optional[int] = None
 

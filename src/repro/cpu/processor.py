@@ -551,6 +551,7 @@ class Processor:
         self.write_buffer.drain(self.store)
         self.controller.commit_speculation()
         self.spec.on_commit()
+        self.controller.policy.on_commit()
         self._restart_streak = 0
 
     def resource_fallback(self, reason: str) -> None:
@@ -582,13 +583,19 @@ class Processor:
         if self._paused:
             self._restart_pending = signal
             return
-        # Repeated conflict losses back off linearly (capped): an
-        # immediately re-issued request would re-enter the same chain
-        # mid-flight and lose again, and the paper's "restart or forced
-        # to wait" resolution expects losers to wait out the winner.
+        # Restart pacing is the contention policy's call; the default
+        # (backoff_for -> None) is the paper's behaviour -- repeated
+        # conflict losses back off linearly (capped): an immediately
+        # re-issued request would re-enter the same chain mid-flight and
+        # lose again, and the paper's "restart or forced to wait"
+        # resolution expects losers to wait out the winner.
         self._restart_streak += 1
-        step = self.config.spec.restart_backoff_step
-        backoff = self.misspec_penalty + step * min(self._restart_streak - 1,
-                                                    15)
+        policy = self.controller.policy
+        policy.on_restart(reason, self._restart_streak)
+        backoff = policy.backoff_for(self._restart_streak)
+        if backoff is None:
+            step = self.config.spec.restart_backoff_step
+            backoff = self.misspec_penalty + step * min(
+                self._restart_streak - 1, 15)
         self.sim.schedule(backoff, self._advance, None, signal,
                           label=f"cpu{self.cpu_id}-restart")

@@ -127,7 +127,21 @@ class SpeculationConfig:
     # (needs no protocol support -- the paper's choice); "nack" refuses
     # the request with a negative acknowledgement at the snoop, forcing
     # the requester to retry (needs NACK support in the protocol).
+    # Legacy knob: configs that set only retention_policy="nack" are
+    # normalized onto contention_policy="nack" below.
     retention_policy: str = "defer"
+    # Contention-management policy (repro.policies): how transactional
+    # conflicts are resolved.  "timestamp" is the paper's TLR policy
+    # (timestamp-ordered deferral, the behavior-preserving default);
+    # "nack" is timestamp order retained by NACKs (Section 3's
+    # alternative); "requester-wins" is TSX-like best-effort HTM with an
+    # abort-count fallback to real lock acquisition; "backoff" is
+    # Polka-style exponential backoff with priority accumulation.
+    contention_policy: str = "timestamp"
+    # Abort-count lock fallback for "requester-wins": after this many
+    # failed speculation attempts the lock is acquired for real.  None
+    # disables the fallback (exposing the Figure 2 livelock).
+    contention_fallback_k: int | None = 4
     # Cycles a NACKed requester waits before re-arbitrating for the bus.
     nack_retry_delay: int = 50
     # Misspeculation redirection penalty (pipeline flush + refetch), and
@@ -143,12 +157,29 @@ class SpeculationConfig:
     # reaction).
     untimestamped_policy: str = "defer"
 
+    #: Valid contention_policy values; mirrors repro.policies.POLICY_NAMES
+    #: (which cannot be imported here without a cycle -- a unit test
+    #: keeps the two in sync).
+    KNOWN_POLICIES = ("timestamp", "nack", "requester-wins", "backoff")
+
     def __post_init__(self) -> None:
         if self.retention_policy not in ("defer", "nack"):
             raise ValueError(f"bad retention_policy {self.retention_policy}")
         if self.untimestamped_policy not in ("defer", "abort"):
             raise ValueError(
                 f"bad untimestamped_policy {self.untimestamped_policy}")
+        if self.contention_policy not in self.KNOWN_POLICIES:
+            raise ValueError(
+                f"bad contention_policy {self.contention_policy!r}; "
+                f"known: {list(self.KNOWN_POLICIES)}")
+        if self.contention_fallback_k is not None \
+                and self.contention_fallback_k < 1:
+            raise ValueError("contention_fallback_k must be >= 1 or None")
+        # Legacy spelling: retention_policy="nack" alone selects the
+        # NACK-retention policy through the new interface.
+        if (self.retention_policy == "nack"
+                and self.contention_policy == "timestamp"):
+            self.contention_policy = "nack"
 
 
 @dataclass
@@ -183,6 +214,20 @@ class SystemConfig:
         if scheme is SyncScheme.TLR_STRICT_TS:
             cfg.spec.single_block_relaxation = False
         return cfg
+
+    def with_policy(self, policy: str, fallback_k=...) -> "SystemConfig":
+        """A copy of this config under a different contention policy.
+
+        ``retention_policy`` is set consistently (it is the legacy
+        spelling of the nack-vs-defer retention choice), so round trips
+        through ``with_policy`` never resurrect a stale value.
+        """
+        spec = replace(self.spec, contention_policy=policy,
+                       retention_policy=("nack" if policy == "nack"
+                                         else "defer"))
+        if fallback_k is not ...:
+            spec = replace(spec, contention_fallback_k=fallback_k)
+        return replace(self, spec=spec)
 
     def __post_init__(self) -> None:
         if self.num_cpus < 1:

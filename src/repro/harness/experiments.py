@@ -24,14 +24,14 @@ sweep series plus a :class:`~repro.harness.parallel.FailedRun` in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional, Sequence
 
 from repro.harness import parallel
 from repro.harness.config import SyncScheme, SystemConfig
 from repro.harness.parallel import FailedRun
 from repro.harness.runner import RunResult
-from repro.harness.spec import (RunSpec, register_experiment,
+from repro.harness.spec import (SIZE_PARAM, RunSpec, register_experiment,
                                 scheme_from_str, scheme_to_str)
 from repro.workloads.apps import ALL_APPS
 
@@ -455,6 +455,7 @@ def verify(workloads: Optional[Sequence[str]] = None,
            base_seed: int = 0,
            shrink: bool = True,
            config: Optional[SystemConfig] = None,
+           policy: Optional[str] = None,
            jobs: int = 1,
            timeout: Optional[float] = None,
            cache=None,
@@ -463,10 +464,12 @@ def verify(workloads: Optional[Sequence[str]] = None,
     """Run the ``repro.verify`` suite: every workload is explored under
     ``seeds`` seeds with the serializability oracle and the invariant
     monitors attached; the first failing seed (if any) is shrunk to a
-    minimal traced reproduction.  ``retries``/``validate``/``config``
-    are accepted for engine-keyword uniformity (verification failures
-    are findings, never retried; the functional validator always runs
-    as one more oracle)."""
+    minimal traced reproduction.  ``policy`` selects a contention
+    policy by name (default: the config's, i.e. the paper's timestamp
+    deferral).  ``retries``/``validate``/``config`` are accepted for
+    engine-keyword uniformity (verification failures are findings,
+    never retried; the functional validator always runs as one more
+    oracle)."""
     del retries, validate, config  # uniform keywords; not meaningful here
     # Imported lazily: repro.verify imports harness modules, so a
     # top-level import here would recurse through harness/__init__.
@@ -476,7 +479,7 @@ def verify(workloads: Optional[Sequence[str]] = None,
         tuple(workloads) if workloads else DEFAULT_VERIFY_WORKLOADS,
         scheme=scheme, num_cpus=num_cpus, seeds=seeds, ops=ops,
         chaos=chaos, base_seed=base_seed, shrink=shrink,
-        jobs=jobs, timeout=timeout, cache=cache)
+        jobs=jobs, timeout=timeout, cache=cache, policy=policy)
     explorations = result.explorations.values()
     wall = sum(e.wall_seconds for e in explorations)
     busy = sum(r.elapsed for e in explorations for r in e.results)
@@ -494,3 +497,144 @@ def verify(workloads: Optional[Sequence[str]] = None,
         if wall > 0 else 0.0,
     }
     return result
+
+
+# ----------------------------------------------------------------------
+# Contention-policy lab: the policies x workloads x processors grid
+# ----------------------------------------------------------------------
+DEFAULT_POLICY_GRID_POLICIES = ("timestamp", "nack", "requester-wins",
+                                "backoff")
+DEFAULT_POLICY_GRID_WORKLOADS = ("single-counter", "linked-list",
+                                 "ocean-cont", "barnes")
+DEFAULT_POLICY_GRID_PROCS = (2, 4, 8)
+
+
+@dataclass
+class PolicyGridResult:
+    """Contention-policy grid: every cell is one (policy, workload,
+    processor-count) point, run ``seeds`` times through the *verifier*
+    (oracle + invariant monitors), not the bare sweep engine -- a
+    policy that goes fast by going wrong fails its cell.
+    """
+
+    policies: list[str]
+    workloads: list[str]
+    processor_counts: list[int]
+    seeds: int
+    cells: dict[str, dict] = field(default_factory=dict)
+
+    @staticmethod
+    def key(policy: str, workload: str, num_cpus: int) -> str:
+        return f"{policy}/{workload}/{num_cpus}"
+
+    def cell(self, policy: str, workload: str, num_cpus: int) -> dict:
+        return self.cells[self.key(policy, workload, num_cpus)]
+
+    @property
+    def ok(self) -> bool:
+        return all(cell["ok"] for cell in self.cells.values())
+
+    @property
+    def failures(self) -> list[str]:
+        return [key for key, cell in self.cells.items() if not cell["ok"]]
+
+    # -- serialization (stable public contract) ------------------------
+    def to_dict(self) -> dict:
+        return {"policies": list(self.policies),
+                "workloads": list(self.workloads),
+                "processor_counts": list(self.processor_counts),
+                "seeds": self.seeds,
+                "cells": {k: dict(v) for k, v in self.cells.items()}}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PolicyGridResult":
+        return cls(policies=list(data["policies"]),
+                   workloads=list(data["workloads"]),
+                   processor_counts=list(data["processor_counts"]),
+                   seeds=data.get("seeds", 1),
+                   cells={k: dict(v)
+                          for k, v in (data.get("cells") or {}).items()})
+
+
+@register_experiment("policies", "contention-policy grid (policies x "
+                                 "workloads x processors), every run "
+                                 "oracle-checked")
+def policy_grid(policies: Optional[Sequence[str]] = None,
+                workloads: Optional[Sequence[str]] = None,
+                processor_counts: Sequence[int] = DEFAULT_POLICY_GRID_PROCS,
+                seeds: int = 3,
+                ops: int = 96,
+                app_scale: int = 12,
+                base_seed: int = 0,
+                config: Optional[SystemConfig] = None, *,
+                jobs: int = 1,
+                timeout: Optional[float] = None,
+                cache=None,
+                retries: Optional[int] = None,
+                validate: bool = True) -> PolicyGridResult:
+    """Compare contention-management policies under verification.
+
+    Every grid cell runs under TLR with the named policy installed and
+    the full :mod:`repro.verify` instrumentation attached -- the
+    serializability oracle, the policy-aware deferral-order monitor and
+    the starvation watchdog all judge every run.  ``ops`` sizes the
+    microbenchmarks; ``app_scale`` sizes the application kernels.
+    """
+    del retries  # verification failures are findings, never retried
+    from repro.verify import VerifyOptions, verify_specs
+    global _LAST_TELEMETRY
+    base = config or SystemConfig()
+    policies = tuple(policies) if policies else DEFAULT_POLICY_GRID_POLICIES
+    workloads = (tuple(workloads) if workloads
+                 else DEFAULT_POLICY_GRID_WORKLOADS)
+    options = VerifyOptions()
+    keys: list[tuple[str, str, int]] = []
+    specs: list[RunSpec] = []
+    for policy in policies:
+        for workload in workloads:
+            size_key = SIZE_PARAM[workload]
+            size = app_scale if size_key == "scale" else ops
+            for n in processor_counts:
+                keys.append((policy, workload, n))
+                for s in range(seeds):
+                    cfg = replace(
+                        base.with_scheme(SyncScheme.TLR).with_policy(policy),
+                        num_cpus=n, seed=base_seed + s)
+                    specs.append(RunSpec(workload=workload, config=cfg,
+                                         workload_args={size_key: size},
+                                         validate=validate))
+    import time as _time
+    started = _time.perf_counter()
+    results, cache_hits = verify_specs(specs, options=options, jobs=jobs,
+                                       timeout=timeout, cache=cache)
+    grid = PolicyGridResult(policies=list(policies),
+                            workloads=list(workloads),
+                            processor_counts=list(processor_counts),
+                            seeds=seeds)
+    for i, (policy, workload, n) in enumerate(keys):
+        per_seed = results[i * seeds:(i + 1) * seeds]
+        violations = [v for r in per_seed for v in r.violations]
+        errors = [r.error for r in per_seed if r.error]
+        grid.cells[grid.key(policy, workload, n)] = {
+            "ok": all(r.ok for r in per_seed),
+            "cycles": per_seed[0].cycles,
+            "num_txns": sum(r.num_txns for r in per_seed),
+            "violations": violations[:4],
+            "error": errors[0] if errors else None,
+            "summary": dict(per_seed[0].summary),
+        }
+    wall = _time.perf_counter() - started
+    busy = sum(r.elapsed for r in results)
+    _LAST_TELEMETRY = {
+        "total_runs": len(results),
+        "simulated": len(results) - cache_hits,
+        "cache_hits": cache_hits,
+        "retries": 0,
+        "failures": sum(1 for r in results if not r.ok),
+        "jobs": jobs,
+        "wall_seconds": wall,
+        "busy_seconds": busy,
+        "utilization": min(1.0, busy / (max(1, jobs) * wall))
+        if wall > 0 else 0.0,
+    }
+    return grid

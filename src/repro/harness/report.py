@@ -12,7 +12,8 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Optional
 
 from repro.harness.config import SyncScheme
-from repro.harness.experiments import AppResult, SweepResult
+from repro.harness.experiments import (AppResult, PolicyGridResult,
+                                       SweepResult)
 
 
 def _cell(value) -> str:
@@ -118,6 +119,37 @@ def failures_table(failures: Iterable) -> str:
             f"cpus={failed.num_cpus} seed={failed.seed} "
             f"attempts={failed.attempts} ({failed.error}: "
             f"{failed.message})")
+    return "\n".join(lines)
+
+
+def policy_grid_table(result: PolicyGridResult) -> str:
+    """The contention-policy grid: one block per workload, one row per
+    policy, one cycles column per processor count.  A cell whose runs
+    failed verification prints the cycles with a ``!`` marker (the
+    violations live in ``result.cells``)."""
+    lines = []
+    for workload in result.workloads:
+        lines.append(f"{workload}  (cycles; ! = failed verification, "
+                     f"{result.seeds} seeds/cell)")
+        header = f"{'policy':<16}" + "".join(
+            f"{f'{n}p':>10}" for n in result.processor_counts)
+        lines.append(header)
+        for policy in result.policies:
+            row = f"{policy:<16}"
+            for n in result.processor_counts:
+                cell = result.cell(policy, workload, n)
+                mark = "" if cell["ok"] else "!"
+                row += f"{str(cell['cycles']) + mark:>10}"
+            lines.append(row)
+        lines.append("")
+    if result.failures:
+        lines.append(f"{len(result.failures)} cell(s) failed "
+                     "verification:")
+        for key in result.failures:
+            cell = result.cells[key]
+            problem = cell["error"] or (cell["violations"][0]
+                                        if cell["violations"] else "?")
+            lines.append(f"  {key}: {problem}")
     return "\n".join(lines)
 
 

@@ -15,6 +15,8 @@ it.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
@@ -80,6 +82,22 @@ class RunResult:
                    store=store,
                    seed_used=data.get("seed_used"),
                    attempts=data.get("attempts", 1))
+
+
+def result_fingerprint(result: RunResult) -> str:
+    """Digest of a run's *observable outcome* -- workload name, the full
+    statistics image and final memory -- independent of the config that
+    produced it.  Two runs with the same fingerprint behaved
+    identically; this is the behavior-preservation oracle the policy
+    refactor's golden tests check against."""
+    payload = {
+        "workload": result.workload_name,
+        "stats": result.stats.to_dict(),
+        "store": {str(addr): value
+                  for addr, value in result.store.snapshot().items()},
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def _execute_workload(workload: Workload, config: SystemConfig,

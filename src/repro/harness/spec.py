@@ -34,7 +34,9 @@ from repro.workloads.microbench import (linked_list, multiple_counter,
 # Bumped whenever the simulator's observable behaviour changes in a way
 # that invalidates previously cached results.
 # v2: SystemConfig grew ``schedule_chaos`` (kernel choice-point hook).
-FINGERPRINT_VERSION = 2
+# v3: SpeculationConfig grew ``contention_policy``/``contention_fallback_k``
+#     (repro.policies).
+FINGERPRINT_VERSION = 3
 
 
 def _mp3d_coarse(num_threads: int, **kwargs) -> Workload:

@@ -1,0 +1,59 @@
+"""Pluggable contention-management policies (the policy lab).
+
+Select with ``SpeculationConfig(contention_policy=...)`` (or
+``SystemConfig.with_policy``); compare with the ``policies`` experiment
+/ ``repro policies`` CLI; certify with ``repro verify --policy``.
+
+========================  ==========  =========  =============================
+policy                    ordering    retention  progress guarantee
+========================  ==========  =========  =============================
+``timestamp`` (default)   timestamp   deferral   starvation-free (the paper)
+``nack``                  timestamp   NACK       starvation-free (Section 3)
+``requester-wins``        none        none       none; lock fallback after K
+``backoff``               priority    NACK       probabilistic (Polka-style)
+========================  ==========  =========  =============================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.policies.backoff import BackoffAborts
+from repro.policies.base import (ConflictContext, ContentionPolicy,
+                                 PolicyDecision)
+from repro.policies.nack import NackRetention
+from repro.policies.requester_wins import RequesterWins
+from repro.policies.timestamp import TimestampDeferral
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.config import SystemConfig
+
+#: Registry: ``contention_policy`` config value -> policy class.  The
+#: valid-name tuple is mirrored in ``SpeculationConfig.__post_init__``
+#: (config cannot import this package); a unit test keeps them in sync.
+POLICIES: dict[str, type[ContentionPolicy]] = {
+    cls.name: cls
+    for cls in (TimestampDeferral, NackRetention, RequesterWins,
+                BackoffAborts)
+}
+
+POLICY_NAMES: tuple[str, ...] = tuple(POLICIES)
+
+
+def make_policy(config: "SystemConfig", cpu_id: int) -> ContentionPolicy:
+    """Instantiate the configured policy for one controller."""
+    name = config.spec.contention_policy
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown contention_policy {name!r}; known: "
+            f"{sorted(POLICIES)}") from None
+    return cls(config, cpu_id)
+
+
+__all__ = [
+    "BackoffAborts", "ConflictContext", "ContentionPolicy",
+    "NackRetention", "POLICIES", "POLICY_NAMES", "PolicyDecision",
+    "RequesterWins", "TimestampDeferral", "make_policy",
+]

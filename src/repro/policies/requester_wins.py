@@ -1,0 +1,55 @@
+"""Requester-wins conflict resolution (best-effort HTM semantics).
+
+The policy of TSX-like best-effort hardware transactional memory: an
+incoming conflicting request always wins and the holding transaction
+aborts.  No timestamps, no deferral, no protocol changes -- and no
+progress guarantee: two transactions that keep requesting each other's
+lines abort each other forever (the paper's Figure 2 livelock).  Real
+best-effort HTMs therefore pair it with a fallback path: after ``K``
+failed attempts, stop speculating and acquire the lock for real
+(``contention_fallback_k``; None disables the fallback and exposes the
+livelock, which the verify starvation watchdog flags).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.coherence.messages import Timestamp
+from repro.policies.base import (ConflictContext, ContentionPolicy,
+                                 PolicyDecision)
+
+
+class RequesterWins(ContentionPolicy):
+    """The incoming request always wins; the holder aborts.
+
+    Guarantees: simplicity -- plain MOESI behaviour, no retained
+    ownership, no deferral machinery exercised.  Forfeits: lock-freedom;
+    progress rests entirely on the abort-count-``K`` lock fallback.
+    """
+
+    name = "requester-wins"
+    ordering = "none"
+    uses_nack = False
+
+    def resolve(self, ctx: ConflictContext) -> PolicyDecision:
+        return PolicyDecision.ABORT_HOLDER
+
+    def probe_beats(self, probe_ts: Timestamp,
+                    holder_ts) -> bool:
+        # Any championed waiter defeats the holder, consistent with
+        # resolve(): the holder never wins a conflict.
+        return True
+
+    def must_release_before_miss(self, deferred, holder_ts) -> bool:
+        return False  # nothing is ever deferred
+
+    def backoff_for(self, attempts: int) -> Optional[int]:
+        # Best-effort HTMs re-execute immediately after the pipeline
+        # redirection penalty; there is no priority to wait out.  The
+        # *absence* of escalation is what sustains the Figure 2 livelock.
+        return self.config.spec.misspec_penalty
+
+    def should_fallback(self, attempts: int) -> bool:
+        k = self.config.spec.contention_fallback_k
+        return k is not None and attempts >= k

@@ -164,7 +164,17 @@ class SpeculationManager:
                 self._suppress_next = True
                 self.stats.lock_fallbacks += 1
                 self._attempts = 0
-        # TLR data conflict: keep the timestamp, retry without limit.
+        elif self.processor.controller.policy.should_fallback(
+                self._attempts):
+            # A contention policy without a progress guarantee (e.g.
+            # requester-wins) bounds its losses: after K failed attempts
+            # the lock is acquired for real.  The paper's timestamp
+            # policies never take this branch -- TLR data conflicts keep
+            # the timestamp and retry without limit.
+            self._suppress_next = True
+            self.stats.lock_fallbacks += 1
+            self.authority.abandon()
+            self._attempts = 0
         self.checkpoint = None
         return depth
 

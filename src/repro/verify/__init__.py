@@ -23,7 +23,7 @@ from repro.verify.explorer import (DEFAULT_VERIFY_WORKLOADS,
                                    VerifyOptions, VerifyResult,
                                    VerifySuiteResult, explore,
                                    shrink_failure, verify_run,
-                                   verify_suite, with_chaos)
+                                   verify_specs, verify_suite, with_chaos)
 from repro.verify.monitors import InvariantViolation, MonitorSuite, Violation
 from repro.verify.oracle import (OracleReport, OracleViolation,
                                  SerializabilityOracle)
@@ -49,6 +49,7 @@ __all__ = [
     "explore",
     "shrink_failure",
     "verify_run",
+    "verify_specs",
     "verify_suite",
     "with_chaos",
 ]

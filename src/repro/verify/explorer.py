@@ -34,7 +34,9 @@ from repro.verify.recorder import FootprintRecorder
 
 # Bumped whenever the recorder/oracle/monitor semantics change in a way
 # that invalidates cached verification verdicts.
-VERIFY_FINGERPRINT_VERSION = 1
+# v2: VerifyResult grew ``cycles``/``summary``; monitors became
+#     contention-policy aware (repro.policies).
+VERIFY_FINGERPRINT_VERSION = 2
 
 #: Cycles of trace to render before/after the first violation.
 TRACE_WINDOW_BEFORE = 2_000
@@ -76,6 +78,8 @@ class VerifyResult:
     num_txns: int = 0
     edges: dict = field(default_factory=dict)
     elapsed: float = 0.0
+    cycles: int = 0                    # simulated parallel execution time
+    summary: dict = field(default_factory=dict)  # key machine counters
 
     def to_dict(self) -> dict:
         return {"workload": self.workload, "scheme": self.scheme,
@@ -83,7 +87,8 @@ class VerifyResult:
                 "ok": self.ok, "error": self.error,
                 "violations": list(self.violations),
                 "num_txns": self.num_txns, "edges": dict(self.edges),
-                "elapsed": self.elapsed}
+                "elapsed": self.elapsed, "cycles": self.cycles,
+                "summary": dict(self.summary)}
 
     @classmethod
     def from_dict(cls, data: dict) -> "VerifyResult":
@@ -93,7 +98,9 @@ class VerifyResult:
                    violations=list(data.get("violations") or []),
                    num_txns=data.get("num_txns", 0),
                    edges=dict(data.get("edges") or {}),
-                   elapsed=data.get("elapsed", 0.0))
+                   elapsed=data.get("elapsed", 0.0),
+                   cycles=data.get("cycles", 0),
+                   summary=dict(data.get("summary") or {}))
 
     def headline(self) -> str:
         status = "ok" if self.ok else "FAIL"
@@ -149,6 +156,11 @@ def verify_run(spec: RunSpec, options: Optional[VerifyOptions] = None,
         edges = report.edges
         violations.extend(str(v) for v in report.violations)
 
+    stats_image = machine.stats.summary()
+    summary = {key: stats_image.get(key, 0)
+               for key in ("restarts", "requests_deferred", "nacks_sent",
+                           "elisions_committed", "lock_fallbacks",
+                           "critical_sections")}
     result = VerifyResult(
         workload=spec.workload,
         scheme=scheme_to_str(spec.config.scheme),
@@ -159,7 +171,9 @@ def verify_run(spec: RunSpec, options: Optional[VerifyOptions] = None,
         violations=violations,
         num_txns=num_txns,
         edges=edges,
-        elapsed=time.perf_counter() - started)
+        elapsed=time.perf_counter() - started,
+        cycles=stats_image.get("total_cycles", 0) or machine.sim.now,
+        summary=summary)
     return result, tracer
 
 
@@ -236,20 +250,22 @@ def with_chaos(spec: RunSpec, chaos: int) -> RunSpec:
     return replace(spec, config=replace(spec.config, schedule_chaos=chaos))
 
 
-def explore(spec: RunSpec, *, seeds: int = 100, base_seed: int = 0,
-            jobs: int = 1, timeout: Optional[float] = None,
-            cache=None, options: Optional[VerifyOptions] = None,
-            progress=None) -> ExplorationResult:
-    """Verify ``spec`` under ``seeds`` different seeds.
+def verify_specs(specs: Sequence[RunSpec], *,
+                 options: Optional[VerifyOptions] = None,
+                 jobs: int = 1, timeout: Optional[float] = None,
+                 cache=None, progress=None
+                 ) -> tuple[list[VerifyResult], int]:
+    """Verify an arbitrary batch of specs through the pool and cache.
 
-    ``progress(done, total, result)`` fires as verdicts land.  Verdicts
-    are cached under :func:`verify_fingerprint`, so re-running an
-    exploration only simulates seeds that were not seen before.
+    The shared engine under :func:`explore` and the policy-grid
+    experiment: every spec gets the full instrumented treatment
+    (recorder, oracle, monitors) and verdicts are cached under
+    :func:`verify_fingerprint`.  Returns the verdicts (same order as
+    ``specs``) and the number served from cache.
     """
     options = options or VerifyOptions()
     store = resolve_cache(cache)
-    started = time.perf_counter()
-    specs = [spec.with_seed(base_seed + i) for i in range(seeds)]
+    specs = list(specs)
     fingerprints = [verify_fingerprint(s, options) for s in specs]
     results: list[Optional[VerifyResult]] = [None] * len(specs)
     cache_hits = 0
@@ -294,8 +310,27 @@ def explore(spec: RunSpec, *, seeds: int = 100, base_seed: int = 0,
                                       pool.imap(_verify_worker, payloads)):
                     _absorb(index, raw)
 
+    return list(results), cache_hits
+
+
+def explore(spec: RunSpec, *, seeds: int = 100, base_seed: int = 0,
+            jobs: int = 1, timeout: Optional[float] = None,
+            cache=None, options: Optional[VerifyOptions] = None,
+            progress=None) -> ExplorationResult:
+    """Verify ``spec`` under ``seeds`` different seeds.
+
+    ``progress(done, total, result)`` fires as verdicts land.  Verdicts
+    are cached under :func:`verify_fingerprint`, so re-running an
+    exploration only simulates seeds that were not seen before.
+    """
+    options = options or VerifyOptions()
+    started = time.perf_counter()
+    specs = [spec.with_seed(base_seed + i) for i in range(seeds)]
+    results, cache_hits = verify_specs(
+        specs, options=options, jobs=jobs, timeout=timeout, cache=cache,
+        progress=progress)
     return ExplorationResult(spec=spec, options=options,
-                             results=list(results),
+                             results=results,
                              cache_hits=cache_hits,
                              wall_seconds=time.perf_counter() - started)
 
@@ -457,8 +492,14 @@ def verify_suite(workloads: Sequence[str] = DEFAULT_VERIFY_WORKLOADS, *,
                  ops: int = 96, chaos: int = 0, base_seed: int = 0,
                  jobs: int = 1, timeout: Optional[float] = None,
                  cache=None, options: Optional[VerifyOptions] = None,
-                 shrink: bool = True, progress=None) -> VerifySuiteResult:
-    """Explore every workload; shrink the first failing seed found."""
+                 shrink: bool = True, progress=None,
+                 policy: Optional[str] = None) -> VerifySuiteResult:
+    """Explore every workload; shrink the first failing seed found.
+
+    ``policy`` selects a contention policy by name (see
+    :data:`repro.policies.POLICY_NAMES`); None keeps the config default
+    (the paper's timestamp deferral).
+    """
     from repro.harness.config import SyncScheme, SystemConfig
 
     scheme = scheme or SyncScheme.TLR
@@ -468,6 +509,8 @@ def verify_suite(workloads: Sequence[str] = DEFAULT_VERIFY_WORKLOADS, *,
     for name in workloads:
         config = SystemConfig(num_cpus=num_cpus, scheme=scheme,
                               schedule_chaos=chaos)
+        if policy is not None:
+            config = config.with_policy(policy)
         size_key = SIZE_PARAM[name]
         spec = RunSpec(workload=name, config=config,
                        workload_args={size_key: ops})

@@ -15,21 +15,34 @@ where the paper's safety and liveness arguments live:
   the in-flight window.
 
 * **Deferral-order sanity** -- every deferral the controllers take must
-  be explainable by the paper's rules: either the deferring transaction
-  has the earlier timestamp, or the request was untimestamped under the
-  ``defer`` policy, or it is the Section 3.2 single-block relaxation
-  (which requires the relaxation preconditions to actually hold).  On
-  top of that the global *waits-for* graph over deferral edges must stay
-  acyclic: deferred requesters wait for their deferrer's commit, so a
-  cycle is a wait deadlock the timestamp order should have made
-  impossible.
+  be explainable by the *active contention policy's* declared ordering
+  contract (:attr:`repro.policies.base.ContentionPolicy.ordering`).
+  Under ``"timestamp"`` ordering (the paper's policies) that means:
+  either the deferring transaction has the earlier timestamp, or the
+  request was untimestamped under the ``defer`` policy, or it is the
+  Section 3.2 single-block relaxation (which requires the relaxation
+  preconditions to actually hold).  Under ``"none"`` (requester-wins)
+  *any* deferral is illegal -- the holder must always surrender.  Under
+  ``"priority"`` (backoff-aborts) a deferral is illegal when the
+  requester carried the higher accumulated priority (ties broken by
+  timestamp).  On top of that the global *waits-for* graph over
+  deferral edges must stay acyclic: deferred requesters wait for their
+  deferrer's commit, so a cycle is a wait deadlock the conflict order
+  should have made impossible.
 
 * **Starvation watchdog** -- the TLR liveness claim is that the
   earliest-timestamp transaction always succeeds.  A periodic event
   tracks the earliest active timestamp and its owner; if the same
   transaction stays earliest for ``patience`` consecutive windows
   without its processor committing anything, the claim is violated
-  (livelock / starvation).
+  (livelock / starvation).  Policies without a timestamp contract make
+  no per-transaction promise, so for them the watchdog degrades to a
+  *global progress* check: if no processor anywhere completes a
+  critical section for ``patience`` consecutive windows while
+  speculation is live, the machine is livelocked.  (Completed critical
+  sections are counted rather than committed elisions so that
+  lock-fallback progress -- requester-wins bounding its losses --
+  still counts as progress.)
 
 Violations raise :class:`InvariantViolation` (a
 :class:`~repro.sim.kernel.SimulationError`) so a failing run stops at
@@ -151,6 +164,24 @@ class MonitorSuite:
         self._check_waits_for_acyclic(controller, request)
 
     def _check_defer_legal(self, controller, request) -> None:
+        ordering = controller.policy.ordering
+        if ordering == "none":
+            self._fail("deferral-order", controller.cpu_id, request.line,
+                       f"policy {controller.policy.name!r} declares no "
+                       "deferral ordering, yet the holder deferred instead "
+                       "of surrendering the line")
+            return
+        if ordering == "priority":
+            holder_prio = getattr(controller.policy, "priority", 0)
+            if request.prio > holder_prio or (
+                    request.prio == holder_prio
+                    and beats(request.ts, controller.current_ts)):
+                self._fail(
+                    "deferral-order", controller.cpu_id, request.line,
+                    f"deferred a higher-priority request (prio="
+                    f"{request.prio} ts={request.ts} vs holder prio="
+                    f"{holder_prio} ts={controller.current_ts})")
+            return
         ts = request.ts
         if ts is None:
             if controller.config.spec.untimestamped_policy != "defer":
@@ -259,6 +290,10 @@ class MonitorSuite:
         machine = self.machine
         if all(p.done for p in machine.processors):
             return  # run finished; let the event queue drain
+        if machine.controllers[0].policy.ordering != "timestamp":
+            self._global_progress_tick()
+            self._schedule_watchdog()
+            return
         progress = self._earliest_progress()
         if progress is None:
             self._last_progress = None
@@ -277,6 +312,36 @@ class MonitorSuite:
             self._last_progress = progress
             self._stuck_windows = 0
         self._schedule_watchdog()
+
+    def _global_progress_tick(self) -> None:
+        """Watchdog mode for policies without a timestamp contract
+        (``ordering`` of ``"none"`` or ``"priority"``): no single
+        transaction is promised to win, but *somebody* must.  Progress
+        is counted as critical-section *completions*: entries minus
+        restarts, since every restart re-enters the section -- and not
+        committed elisions, so lock-fallback completions count too."""
+        machine = self.machine
+        completed = sum(p.stats.critical_sections - p.stats.restarts
+                        for p in machine.processors)
+        speculating = any(c.speculating for c in machine.controllers)
+        if not speculating:
+            self._last_progress = (completed,)
+            self._stuck_windows = 0
+            return
+        if self._last_progress == (completed,):
+            self._stuck_windows += 1
+            if self._stuck_windows >= self.watchdog_patience:
+                self._fail(
+                    "starvation", None, None,
+                    f"no critical section completed anywhere for "
+                    f"{self._stuck_windows * self.watchdog_period} cycles "
+                    f"while speculation is live (policy "
+                    f"{machine.controllers[0].policy.name!r} is "
+                    "livelocked)")
+                self._stuck_windows = 0
+        else:
+            self._last_progress = (completed,)
+            self._stuck_windows = 0
 
     def _earliest_progress(self) -> Optional[tuple]:
         """(earliest active timestamp, owner cpu, owner's commit count),

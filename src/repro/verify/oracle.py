@@ -140,11 +140,24 @@ class SerializabilityOracle:
     # ------------------------------------------------------------------
     def _check_graph(self, report: OracleReport) -> None:
         committed = self.recorder.committed
-        # Per-line version order = commit order of the line's writers.
-        writers: dict[int, list[int]] = {}
+        # Per-(line, era) version order = commit order of the line's
+        # transactional writers within one plain-write era.  A plain
+        # write (e.g. a lock-fallback critical section -- routine under
+        # contention policies that bound their losses with a lock
+        # acquisition) starts a new era and totally orders the eras;
+        # without the era split, two None-provenance reads on opposite
+        # sides of a plain write would look like reads of the same
+        # "initial" version and fabricate rw anti-dependency cycles.
+        writers: dict[tuple[int, int], list[int]] = {}
         for txn in committed:
             for line in sorted(txn.written_lines):
-                writers.setdefault(line, []).append(txn.txn_id)
+                era = txn.line_eras.get(line, 0)
+                writers.setdefault((line, era), []).append(txn.txn_id)
+        line_eras: dict[int, list[int]] = {}
+        for line, era in writers:
+            line_eras.setdefault(line, []).append(era)
+        for eras in line_eras.values():
+            eras.sort()
 
         edges: dict[int, set[int]] = {t.txn_id: set() for t in committed}
 
@@ -154,10 +167,16 @@ class SerializabilityOracle:
             edges[src].add(dst)
             report.edges[kind] += 1
 
-        # ww: consecutive writers of each line.
-        for order in writers.values():
-            for a, b in zip(order, order[1:]):
-                add_edge(a, b, "ww")
+        # ww: consecutive writers within an era, plus the era boundary
+        # (the plain write between two eras orders the last writer of
+        # one before the first writer of the next).
+        for line, eras in line_eras.items():
+            for order in (writers[(line, era)] for era in eras):
+                for a, b in zip(order, order[1:]):
+                    add_edge(a, b, "ww")
+            for ea, eb in zip(eras, eras[1:]):
+                add_edge(writers[(line, ea)][-1], writers[(line, eb)][0],
+                         "ww")
 
         for txn in committed:
             for obs in txn.reads:
@@ -167,12 +186,18 @@ class SerializabilityOracle:
                     # must precede the reader.
                     add_edge(version, txn.txn_id, "wr")
                 # rw: the reader must precede the line's *next* writer
-                # after the version it read.
-                order = writers.get(obs.line, [])
+                # after the version it read -- within the read's own
+                # era, or failing that the first writer of a later era
+                # (the plain write starting that era already happened
+                # after the read).
+                order = writers.get((obs.line, obs.era), [])
                 if version is None:
-                    later = order
+                    later = list(order)
                 else:
                     later = order[order.index(version) + 1:]
+                for era in line_eras.get(obs.line, ()):
+                    if era > obs.era:
+                        later.extend(writers[(obs.line, era)])
                 for writer in later:
                     if writer != txn.txn_id:
                         add_edge(txn.txn_id, writer, "rw")

@@ -23,7 +23,7 @@ exactly as the hardware discards them.
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.coherence.messages import Timestamp
@@ -40,8 +40,13 @@ class ReadObservation:
     ``writer`` / ``line_writer`` are the ids of the committed
     transactions whose write this observation read at word / cache-line
     granularity (None = the initial value or a non-transactional
-    write).  Reads satisfied by the processor's own write buffer are
-    *not* recorded -- read-your-own-writes is trivially consistent.
+    write).  ``era`` counts the non-transactional writes the line had
+    seen by read time: plain writes (e.g. a lock-fallback critical
+    section) reset provenance to None, so the era is what keeps two
+    None-provenance reads on opposite sides of a plain write from
+    looking like reads of the same version.  Reads satisfied by the
+    processor's own write buffer are *not* recorded --
+    read-your-own-writes is trivially consistent.
     """
 
     addr: int
@@ -51,6 +56,7 @@ class ReadObservation:
     line_writer: Optional[int]
     epoch: int
     time: int
+    era: int = 0
 
 
 @dataclass
@@ -63,6 +69,9 @@ class CommittedTxn:
     commit_time: int
     reads: list[ReadObservation]
     writes: dict[int, int]          # committed write set (addr -> value)
+    #: written line -> plain-write era the line was in at commit time
+    #: (see :class:`ReadObservation.era`).
+    line_eras: dict = field(default_factory=dict)
 
     @property
     def read_lines(self) -> set[int]:
@@ -93,6 +102,8 @@ class FootprintRecorder:
         # writer, or None after a non-transactional write.
         self._last_writer: dict[int, Optional[int]] = {}
         self._last_line_writer: dict[int, Optional[int]] = {}
+        # line -> number of plain writes seen (the line's current era).
+        self._line_era: dict[int, int] = {}
         self._in_commit = False
 
     # ------------------------------------------------------------------
@@ -126,7 +137,8 @@ class FootprintRecorder:
                     addr=addr, value=value, line=line_of(addr),
                     writer=self._last_writer.get(addr),
                     line_writer=self._last_line_writer.get(line_of(addr)),
-                    epoch=processor.epoch, time=processor.sim.now))
+                    epoch=processor.epoch, time=processor.sim.now,
+                    era=self._line_era.get(line_of(addr), 0)))
             return value
 
         @functools.wraps(original_commit)
@@ -140,7 +152,11 @@ class FootprintRecorder:
             self._pending[cpu] = []
             txn = CommittedTxn(txn_id=len(self.committed), cpu=cpu, ts=ts,
                                commit_time=processor.sim.now,
-                               reads=reads, writes=writes)
+                               reads=reads, writes=writes,
+                               line_eras={
+                                   line_of(addr): self._line_era.get(
+                                       line_of(addr), 0)
+                                   for addr in writes})
             self.committed.append(txn)
             self.log.append((COMMIT, txn.txn_id))
             self._in_commit = True
@@ -169,5 +185,7 @@ class FootprintRecorder:
             self.log.append((PLAIN_WRITE, sim.now, addr, value))
             self._last_writer[addr] = None
             self._last_line_writer[line_of(addr)] = None
+            line = line_of(addr)
+            self._line_era[line] = self._line_era.get(line, 0) + 1
 
         store.write = write

@@ -1,0 +1,212 @@
+"""Integration tests for the contention-policy lab.
+
+Four angles:
+
+* **Behavior preservation.**  The policy refactor moved the paper's
+  conflict decision out of the controller and behind an interface; the
+  golden fingerprints below were captured on the pre-refactor tree, so
+  the default policy (and the legacy ``retention_policy="nack"``
+  spelling) must reproduce them bit-for-bit.
+* **Liveness contrast.**  Requester-wins without its lock fallback is
+  the paper's Figure 2 livelock; the verify layer's starvation watchdog
+  must flag it, while every bounded policy finishes the same workload.
+* **Correctness under every policy.**  A seed-fanned verify pass (the
+  serializability oracle + policy-aware invariant monitors) over two
+  workloads must hold for all four policies -- swapping the conflict
+  rule may cost cycles, never serializability.
+* **Corners.**  The NACK policy's chained-request fallback (a refusal
+  is impossible past the order point, so retention degrades to
+  deferral) and the ABORT_REQUESTER verdict path.
+"""
+
+import pytest
+
+from repro.harness.config import SpeculationConfig, SyncScheme, SystemConfig
+from repro.harness.machine import Machine
+from repro.harness.runner import _execute_workload, result_fingerprint
+from repro.harness.spec import RunSpec
+from repro.policies import POLICY_NAMES, PolicyDecision
+from repro.policies.timestamp import TimestampDeferral
+from repro.verify import VerifyOptions, verify_run
+from repro.verify.monitors import InvariantViolation, MonitorSuite
+from repro.workloads.microbench import linked_list, single_counter
+
+# Captured on the pre-refactor tree (inline controller decisions),
+# num_cpus=4, scheme=TLR, ops=96, seeds 0..2.
+GOLDEN_DEFAULT = {
+    ("single-counter", 0):
+        "82410a9c42a59bb8534b24107080cd6a07e383a0328d03aa899614b6aadf6888",
+    ("single-counter", 1):
+        "8c439d071317a1cf21f980e734bc28cd96fcdd7e55d8959e0a77a36ce2c27afc",
+    ("single-counter", 2):
+        "6e23d069e8adcea0c6d1f05e83f4327fdfc310fdf4d73c43c34be04fb385c06f",
+    ("linked-list", 0):
+        "b0198d2bb44e712dcf0ce5dea9713ec47fae62c58822eb60e386822eb61bced0",
+    ("linked-list", 1):
+        "205a17cc5d17c4c91a099eb015adb61d51eb9505b0f7b95e86ba72910843922e",
+    ("linked-list", 2):
+        "7b3e123ff421ed6ef71453c25c9247cd3f9bdd29cde839361986bbdc886fc519",
+}
+# Same capture with the legacy SpeculationConfig(retention_policy="nack")
+# spelling (now normalized onto contention_policy="nack").
+GOLDEN_LEGACY_NACK = {
+    0: "a4959cd5c45404b603536e00ab0e3be96f6567fd9bc06d11a69772b5e739493b",
+    1: "14092355cc258cd315a6169e646f109f0d2a0d054f0a4fbc62514c282bafc250",
+    2: "5fa15cdd96bd0f9c8aa3ff6b611be483c831e080e7cfcb544bfe4d7555172d10",
+}
+
+BUILDERS = {"single-counter": single_counter, "linked-list": linked_list}
+
+
+# ----------------------------------------------------------------------
+# Behavior preservation: pre-refactor golden fingerprints
+# ----------------------------------------------------------------------
+def test_default_policy_matches_pre_refactor_goldens():
+    for (name, seed), want in GOLDEN_DEFAULT.items():
+        cfg = SystemConfig(num_cpus=4, scheme=SyncScheme.TLR, seed=seed)
+        result = _execute_workload(BUILDERS[name](4, 96), cfg)
+        assert result_fingerprint(result) == want, (
+            f"{name}/seed{seed}: the timestamp policy diverged from the "
+            f"pre-refactor controller")
+
+
+def test_legacy_nack_spelling_matches_pre_refactor_goldens():
+    for seed, want in GOLDEN_LEGACY_NACK.items():
+        cfg = SystemConfig(num_cpus=4, scheme=SyncScheme.TLR, seed=seed,
+                           spec=SpeculationConfig(retention_policy="nack"))
+        assert cfg.spec.contention_policy == "nack"
+        result = _execute_workload(single_counter(4, 96), cfg)
+        assert result_fingerprint(result) == want, (
+            f"seed{seed}: legacy retention_policy='nack' diverged")
+
+
+# ----------------------------------------------------------------------
+# Liveness: Figure 2 with the guard rails removed
+# ----------------------------------------------------------------------
+def _livelock_config():
+    cfg = SystemConfig(num_cpus=4, scheme=SyncScheme.TLR).with_policy(
+        "requester-wins", fallback_k=None)
+    cfg.max_cycles = 3_000_000
+    return cfg
+
+
+def test_requester_wins_without_fallback_livelocks():
+    """The starvation watchdog must flag the livelock long before the
+    cycle budget would -- and name the policy."""
+    machine = Machine(_livelock_config())
+    MonitorSuite(machine, fail_fast=True,
+                 watchdog_period=2_000, watchdog_patience=5).attach()
+    with pytest.raises(InvariantViolation, match="starvation") as exc:
+        machine.run_workload(
+            single_counter(4, total_increments=64, think_cycles=200))
+    assert "requester-wins" in str(exc.value)
+    assert machine.sim.now < 100_000  # caught early, not at the budget
+    stats = machine.stats.summary()
+    assert stats["restarts"] > 100  # the abort storm was real
+
+
+def test_bounded_policies_finish_the_livelock_workload():
+    for policy in POLICY_NAMES:
+        cfg = SystemConfig(num_cpus=4, scheme=SyncScheme.TLR).with_policy(
+            policy)  # requester-wins keeps its default lock fallback
+        result = _execute_workload(
+            single_counter(4, total_increments=64, think_cycles=200), cfg)
+        assert result.stats is not None, policy
+    # The fallback is what saved requester-wins: the same workload with
+    # fallback_k=4 completes with real lock acquisitions.
+    result = _execute_workload(
+        single_counter(4, total_increments=64, think_cycles=200),
+        SystemConfig(num_cpus=4, scheme=SyncScheme.TLR).with_policy(
+            "requester-wins", fallback_k=4))
+    assert result.stats.summary()["lock_fallbacks"] > 0
+
+
+# ----------------------------------------------------------------------
+# Correctness: every policy, seed-fanned oracle + monitors
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("policy", POLICY_NAMES)
+@pytest.mark.parametrize("workload", ("single-counter", "linked-list"))
+def test_policy_serializability_fanout(policy, workload):
+    base = SystemConfig(num_cpus=4, scheme=SyncScheme.TLR).with_policy(
+        policy)
+    size_key = ("total_increments" if workload == "single-counter"
+                else "total_ops")
+    for seed in range(25):
+        spec = RunSpec(workload=workload,
+                       config=SystemConfig(
+                           num_cpus=4, scheme=SyncScheme.TLR,
+                           seed=seed, spec=base.spec),
+                       workload_args={size_key: 96})
+        result, _ = verify_run(spec, VerifyOptions())
+        assert result.ok, (f"{policy}/{workload}/seed{seed}: "
+                           f"{result.violations or result.error}")
+        assert result.num_txns > 0
+
+
+# ----------------------------------------------------------------------
+# Corners
+# ----------------------------------------------------------------------
+def test_nack_chained_request_corner():
+    """At 4 CPUs the NACK policy hits both retention mechanisms in one
+    run: snoop-time refusals AND order-point deferrals (requests that
+    chain behind the holder's in-flight fill, where a NACK is no longer
+    possible).  Both must coexist with a verified execution."""
+    spec = RunSpec(workload="single-counter",
+                   config=SystemConfig(num_cpus=4, scheme=SyncScheme.TLR)
+                   .with_policy("nack"),
+                   workload_args={"total_increments": 96})
+    result, _ = verify_run(spec, VerifyOptions())
+    assert result.ok, result.violations or result.error
+    assert result.summary["nacks_sent"] > 0
+    assert result.summary["requests_deferred"] > 0
+
+
+def test_abort_requester_verdict_serves_and_kills():
+    """A policy verdict of ABORT_REQUESTER surfaces as a remote abort:
+    the holder serves the data, the requester's speculation dies.  No
+    built-in policy uses it, so install a stub post-construction."""
+
+    class HolderAlwaysWins(TimestampDeferral):
+        name = "holder-always-wins"
+        ordering = "none"
+
+        def resolve(self, ctx):
+            return PolicyDecision.ABORT_REQUESTER
+
+    cfg = SystemConfig(num_cpus=4, scheme=SyncScheme.TLR)
+    machine = Machine(cfg)
+    for controller in machine.controllers:
+        controller.policy = HolderAlwaysWins(cfg, controller.cpu_id)
+    stats = machine.run_workload(single_counter(4, 96))
+    # The workload validator ran (counter correct); conflicts were
+    # resolved by killing requesters, not by deferral.
+    assert stats.summary()["restarts"] > 0
+    assert stats.summary()["requests_deferred"] == 0
+
+
+def test_monitor_flags_deferral_under_no_ordering_policy():
+    """The deferral monitor reads the policy's declared ordering
+    contract: a policy that claims ``ordering="none"`` must never be
+    seen deferring.  Force the contradiction by lying about the
+    contract on a machine that really defers."""
+    machine = Machine(SystemConfig(num_cpus=4, scheme=SyncScheme.TLR))
+    for controller in machine.controllers:
+        controller.policy.ordering = "none"
+    MonitorSuite(machine, fail_fast=True).attach()
+    with pytest.raises(InvariantViolation, match="deferral-order"):
+        machine.run_workload(single_counter(4, 96))
+
+
+def test_oracle_handles_mixed_lock_and_transactional_history():
+    """Era regression: lock-fallback critical sections interleave plain
+    writes with committed transactions on the same lines.  The oracle's
+    per-(line, era) version order must not fabricate rw-cycles across
+    the plain writes (fallback_k=1 maximizes the mixing)."""
+    for seed in range(5):
+        cfg = SystemConfig(num_cpus=4, scheme=SyncScheme.TLR, seed=seed
+                           ).with_policy("requester-wins", fallback_k=1)
+        spec = RunSpec(workload="single-counter", config=cfg,
+                       workload_args={"total_increments": 96})
+        result, _ = verify_run(spec, VerifyOptions())
+        assert result.ok, result.violations or result.error
+        assert result.summary["lock_fallbacks"] > 0  # mixing occurred

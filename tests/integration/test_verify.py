@@ -8,6 +8,8 @@ from dataclasses import replace
 import pytest
 
 import repro.coherence.controller as controller_module
+import repro.policies.base as policy_base_module
+import repro.policies.timestamp as policy_timestamp_module
 from repro.coherence.messages import beats as real_beats
 from repro.harness.config import SyncScheme, SystemConfig
 from repro.harness.machine import Machine
@@ -103,7 +105,10 @@ def inverted_timestamps(monkeypatch):
             return real_beats(challenger, incumbent)
         return not real_beats(challenger, incumbent)
 
-    monkeypatch.setattr(controller_module, "beats", inverted)
+    # Conflict resolution lives in the contention-policy layer now;
+    # invert the comparison everywhere the default policy consults it.
+    monkeypatch.setattr(policy_base_module, "beats", inverted)
+    monkeypatch.setattr(policy_timestamp_module, "beats", inverted)
 
 
 @pytest.fixture

@@ -48,7 +48,11 @@ def test_policy_grid(benchmark):
                results={"cycles": cycles,
                         "slowdown_vs_timestamp": speedups,
                         "summaries": {key: cell["summary"]
-                                      for key, cell in grid.cells.items()}})
+                                      for key, cell in grid.cells.items()},
+                        # Full per-cell telemetry: the per-policy
+                        # deferral-depth / retry / latency histograms.
+                        "metrics": {key: cell["metrics"]
+                                    for key, cell in grid.cells.items()}})
     for key, value in cycles.items():
         benchmark.extra_info[key] = value
 

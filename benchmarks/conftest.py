@@ -71,6 +71,11 @@ def sweep_results(result) -> dict:
             name: [b / c if b and c else None
                    for b, c in zip(base, series)]
             for name, series in cycles.items()}
+    # Summarized conflict telemetry per sweep point ("SCHEME/procs" ->
+    # {metric: number}); deterministic, so trend-comparable.
+    metrics = result.extra.get("metrics")
+    if metrics:
+        out["metrics"] = metrics
     return out
 
 

@@ -152,6 +152,31 @@ def _build_parser() -> argparse.ArgumentParser:
     policies_cmd.add_argument("--base-seed", type=int, default=0)
     _engine_opts(policies_cmd)
 
+    trend_cmd = sub.add_parser(
+        "trend", help="diff BENCH_*.json artifacts against a baseline "
+                      "git ref (or artifact directory); exits non-zero "
+                      "on regressions beyond the threshold")
+    trend_cmd.add_argument(
+        "ref", nargs="?", default=None,
+        help="baseline git ref, e.g. HEAD~1 (default HEAD)")
+    trend_cmd.add_argument(
+        "--against", type=str, default=None,
+        help="baseline git ref or a directory of artifacts "
+             "(alternative spelling of the positional ref)")
+    trend_cmd.add_argument(
+        "--artifacts", type=str, default=".",
+        help="directory holding the current artifacts (default: cwd)")
+    trend_cmd.add_argument(
+        "--repo", type=str, default=None,
+        help="git repository to resolve the ref in (default: the "
+             "artifacts directory)")
+    trend_cmd.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="relative change that counts as a regression "
+             "(default 0.05 = 5%%)")
+    trend_cmd.add_argument("--json", action="store_true",
+                           help="emit the report as JSON")
+
     runner = sub.add_parser("run", help="run one workload")
     runner.add_argument("workload", choices=sorted(WORKLOAD_BUILDERS))
     runner.add_argument("--scheme", type=str, default="TLR",
@@ -162,6 +187,9 @@ def _build_parser() -> argparse.ArgumentParser:
                              "microbenchmarks, iterations per thread for "
                              "the application kernels")
     runner.add_argument("--seed", type=int, default=0)
+    runner.add_argument("--metrics", action="store_true",
+                        help="also print the run's conflict telemetry "
+                             "(counters, gauges, histograms)")
     _engine_opts(runner)
 
     sub.add_parser("list", help="list workloads and schemes")
@@ -330,6 +358,26 @@ def main(argv: Optional[list[str]] = None) -> int:
             _print_telemetry()
         return 0 if grid.ok else 1
 
+    if args.command == "trend":
+        from repro.harness import trend
+        if args.ref and args.against:
+            print("give either a positional ref or --against, not both",
+                  file=sys.stderr)
+            return 2
+        against = args.against or args.ref or "HEAD"
+        try:
+            result = trend.trend_report(
+                against=against, artifacts_dir=args.artifacts,
+                repo=args.repo, threshold=args.threshold)
+        except trend.TrendError as exc:
+            print(f"trend: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2))
+        else:
+            print(result.to_markdown())
+        return 0 if result.ok else 1
+
     if args.command == "run":
         scheme_name = args.scheme.upper().replace("_", "-")
         if scheme_name not in SCHEME_ALIASES:
@@ -356,6 +404,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"  cycles: {outcome.cycles}")
         for key, value in outcome.stats.summary().items():
             print(f"  {key}: {value}")
+        if args.metrics:
+            table = report.metrics_table(outcome.metrics)
+            print(table if table else "  (no telemetry: run was cached "
+                                      "before metrics or config.metrics "
+                                      "is off)")
         return 0
 
     return 2  # pragma: no cover - argparse enforces choices

@@ -103,6 +103,9 @@ class CacheController:
         # Optional invariant monitor (repro.verify.monitors); None in
         # normal runs so the hot path pays only an attribute test.
         self.monitor = None
+        # Optional metrics collector (repro.obs.MachineMetrics), gated
+        # the same way.
+        self.obs = None
         # LL/SC link register.
         self._link: Optional[int] = None
         bus.attach(self)
@@ -158,6 +161,8 @@ class CacheController:
         self.chains[line_addr] = ChainState()
         self.cache.pin(line_addr)
         self.bus.issue(request)
+        if self.obs is not None:
+            self.obs.on_request_issued(self, request)
         if self.tlr_enabled:
             # Watch every miss, not just transactional ones: a restarted
             # transaction may merge onto a request issued outside the
@@ -413,6 +418,8 @@ class CacheController:
         if mshr is None or mshr.request.req_id != request.req_id:
             return
         self.stats.nacks_received += 1
+        if self.obs is not None:
+            self.obs.on_nack(self, request)
         self.policy.on_nacked(request)
         if getattr(request, "abort_on_nack", False):
             request.abort_on_nack = False  # type: ignore[attr-defined]
@@ -534,6 +541,8 @@ class CacheController:
         self.stats.requests_deferred += 1
         if self.monitor is not None:
             self.monitor.on_defer(self, request)
+        if self.obs is not None:
+            self.obs.on_defer(self, request)
         self._send_marker(request)
 
     def _send_marker(self, request: BusRequest) -> None:
@@ -542,6 +551,8 @@ class CacheController:
         target = self.bus.controllers.get(request.requester)
         if target is not None:
             self.stats.markers_sent += 1
+            if self.obs is not None:
+                self.obs.on_marker_sent(self, marker)
             self.datanet.send_control(target.handle_marker, marker,
                                       label=f"marker {request.line:#x}")
 
@@ -573,10 +584,14 @@ class CacheController:
             return
         self.stats.probes_sent += 1
         probe = Probe(line=line_addr, ts=ts, origin=origin)
+        if self.obs is not None:
+            self.obs.on_probe_sent(self, probe)
         self.datanet.send_control(target.handle_probe, probe,
                                   label=f"probe {line_addr:#x}")
 
     def handle_marker(self, marker: Marker) -> None:
+        if self.obs is not None:
+            self.obs.on_marker(self, marker)
         chain = self.chains.get(marker.line)
         if chain is None:
             return  # The miss already completed; the chain is gone.
@@ -584,6 +599,8 @@ class CacheController:
             self._send_probe(marker.sender, marker.line, ts, origin=-1)
 
     def handle_probe(self, probe: Probe) -> None:
+        if self.obs is not None:
+            self.obs.on_probe(self, probe)
         mshr = self.mshrs.get(probe.line)
         if mshr is not None:
             # Mid-chain: forward the conflict upstream; if it also beats
@@ -662,6 +679,8 @@ class CacheController:
         mshr = self.mshrs.get(request.line)
         if mshr is None or mshr.request.req_id != request.req_id:
             return  # Stale delivery (request superseded); ignore.
+        if self.obs is not None:
+            self.obs.on_data(self, request)
         self.mshrs.release(request.line)
         self.chains.pop(request.line, None)
         grant = getattr(request, "grant_state", State.SHARED)
@@ -724,6 +743,8 @@ class CacheController:
     # ------------------------------------------------------------------
     def _service_obligation(self, request: BusRequest) -> None:
         """Supply data for ``request`` and adjust our local state."""
+        if self.obs is not None:
+            self.obs.on_obligation_serviced(self, request)
         line = self.cache.lookup(request.line)
         # The serve decision may have been made an event earlier, before
         # a restarted transaction re-touched the line.  Losing a line the

@@ -86,6 +86,9 @@ class Processor:
         # Used by linearizability checkers and analysis tools; empty in
         # normal runs.
         self.commit_listeners: list = []
+        # Optional metrics collector (repro.obs.MachineMetrics); None in
+        # normal runs so restarts pay only an attribute test.
+        self.obs = None
 
     def __repr__(self) -> str:
         state = "done" if self.done else (
@@ -597,5 +600,7 @@ class Processor:
             step = self.config.spec.restart_backoff_step
             backoff = self.misspec_penalty + step * min(
                 self._restart_streak - 1, 15)
+        if self.obs is not None:
+            self.obs.on_restart(self, reason, backoff, self._restart_streak)
         self.sim.schedule(backoff, self._advance, None, signal,
                           label=f"cpu{self.cpu_id}-restart")

@@ -199,6 +199,12 @@ class SystemConfig:
     spec: SpeculationConfig = field(default_factory=SpeculationConfig)
     seed: int = 0
     latency_jitter: int = 2
+    # Collect conflict/latency telemetry (repro.obs.MachineMetrics) into
+    # RunResult.metrics.  Collection is purely observational -- the
+    # golden-fingerprint tests pin metrics-on and metrics-off runs
+    # bit-identical -- so it defaults on; turn off to shave the hook
+    # overhead from very large sweeps.
+    metrics: bool = True
     # Schedule-exploration chaos: when > 0, same-cycle events are
     # reordered by a seeded random priority drawn from
     # ``0..schedule_chaos`` at each kernel choice point (see

@@ -33,6 +33,7 @@ from repro.harness.parallel import FailedRun
 from repro.harness.runner import RunResult
 from repro.harness.spec import (SIZE_PARAM, RunSpec, register_experiment,
                                 scheme_from_str, scheme_to_str)
+from repro.obs import summarize_metrics
 from repro.workloads.apps import ALL_APPS
 
 MICRO_SCHEMES = (SyncScheme.BASE, SyncScheme.MCS, SyncScheme.SLE,
@@ -218,13 +219,22 @@ def _sweep(name: str, workload: str, workload_args: dict,
              for scheme, n in keys]
     outcomes = _execute(specs, engine)
     result = SweepResult(name=name, processor_counts=list(processor_counts))
-    for (scheme, _), outcome in zip(keys, outcomes):
+    metrics: dict[str, dict] = {}
+    for (scheme, n), outcome in zip(keys, outcomes):
         series = result.series.setdefault(scheme, [])
         if isinstance(outcome, FailedRun):
             series.append(None)
             result.failures.append(outcome)
         else:
             series.append(outcome.cycles)
+            # Summarized conflict telemetry per sweep point (None when
+            # the run had config.metrics off or came from a pre-metrics
+            # cache payload); deterministic, so safe in to_dict().
+            if outcome.metrics is not None:
+                metrics[f"{scheme_to_str(scheme)}/{n}"] = (
+                    summarize_metrics(outcome.metrics))
+    if metrics:
+        result.extra["metrics"] = metrics
     if _LAST_TELEMETRY is not None:
         result.extra["telemetry"] = _LAST_TELEMETRY
     return result
@@ -622,6 +632,10 @@ def policy_grid(policies: Optional[Sequence[str]] = None,
             "violations": violations[:4],
             "error": errors[0] if errors else None,
             "summary": dict(per_seed[0].summary),
+            # Full telemetry payload of the cell's first seed: counters,
+            # gauges and the deferral-depth / retry / latency histograms
+            # (this is what BENCH_policies.json publishes per policy).
+            "metrics": per_seed[0].metrics,
         }
     wall = _time.perf_counter() - started
     busy = sum(r.elapsed for r in results)

@@ -153,6 +153,44 @@ def policy_grid_table(result: PolicyGridResult) -> str:
     return "\n".join(lines)
 
 
+def _histogram_bar(hist: Mapping, width: int = 24) -> str:
+    """Populated buckets of one histogram export as ``<=bound:count``
+    pairs (plus ``>bound`` for the overflow bin), bar-scaled."""
+    pairs = [(f"<={bound}", count) for bound, count
+             in zip(hist["buckets"], hist["counts"]) if count]
+    if hist.get("overflow"):
+        pairs.append((f">{hist['buckets'][-1]}", hist["overflow"]))
+    if not pairs:
+        return "(empty)"
+    peak = max(count for _, count in pairs)
+    return "  ".join(f"{label}:{count}"
+                     + "#" * max(1, count * 8 // peak)
+                     for label, count in pairs[:width])
+
+
+def metrics_table(metrics: Optional[Mapping],
+                  title: str = "telemetry") -> str:
+    """One run's conflict-telemetry payload (a
+    :meth:`repro.obs.MetricsRegistry.to_dict` export, as carried by
+    ``RunResult.metrics`` / ``VerifyResult.metrics``) as an aligned
+    text block: counters, gauges (last/max) and per-histogram
+    count/mean/max with the populated buckets."""
+    if not metrics:
+        return ""
+    lines = [title]
+    for name, value in (metrics.get("counters") or {}).items():
+        lines.append(f"  {name:<30}{value}")
+    for name, gauge in (metrics.get("gauges") or {}).items():
+        lines.append(f"  {name:<30}{gauge['value']} "
+                     f"(max {gauge['max']})")
+    for name, hist in (metrics.get("histograms") or {}).items():
+        mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+        lines.append(f"  {name:<30}n={hist['count']} mean={mean:.1f} "
+                     f"max={hist['max']}")
+        lines.append(f"    {_histogram_bar(hist)}")
+    return "\n".join(lines)
+
+
 def dict_table(data: Mapping[str, float], title: str = "") -> str:
     width = max(len(str(k)) for k in data) + 2
     lines = [title] if title else []

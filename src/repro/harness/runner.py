@@ -25,6 +25,7 @@ from repro.coherence.memory import ValueStore
 from repro.harness.config import SyncScheme, SystemConfig
 from repro.harness.machine import Machine
 from repro.harness.spec import config_from_dict, config_to_dict
+from repro.obs import MachineMetrics
 from repro.runtime.program import Workload
 from repro.sim.stats import SimStats
 
@@ -46,6 +47,12 @@ class RunResult:
     store: ValueStore
     seed_used: Optional[int] = None
     attempts: int = 1
+    # Conflict/latency telemetry (repro.obs registry export); None when
+    # the run was executed with config.metrics off or loaded from a
+    # pre-metrics cache payload.  Deliberately NOT part of
+    # result_fingerprint: telemetry describes a run, it is not part of
+    # its observable outcome.
+    metrics: Optional[dict] = None
 
     @property
     def cycles(self) -> int:
@@ -69,6 +76,7 @@ class RunResult:
                       for addr, value in self.store.snapshot().items()},
             "seed_used": self.seed_used,
             "attempts": self.attempts,
+            "metrics": self.metrics,
         }
 
     @classmethod
@@ -81,7 +89,8 @@ class RunResult:
                    stats=SimStats.from_dict(data["stats"]),
                    store=store,
                    seed_used=data.get("seed_used"),
-                   attempts=data.get("attempts", 1))
+                   attempts=data.get("attempts", 1),
+                   metrics=data.get("metrics"))
 
 
 def result_fingerprint(result: RunResult) -> str:
@@ -105,9 +114,12 @@ def _execute_workload(workload: Workload, config: SystemConfig,
     """Execute ``workload`` on a freshly built machine (no deprecation
     warning -- this is the internal core the new API calls)."""
     machine = Machine(config)
+    collector = MachineMetrics().attach(machine) if config.metrics else None
     stats = machine.run_workload(workload, validate=validate)
     return RunResult(config=config, workload_name=workload.name,
-                     stats=stats, store=machine.store)
+                     stats=stats, store=machine.store,
+                     metrics=(collector.finalize(machine)
+                              if collector is not None else None))
 
 
 def _deprecated(name: str) -> None:

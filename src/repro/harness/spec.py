@@ -36,7 +36,9 @@ from repro.workloads.microbench import (linked_list, multiple_counter,
 # v2: SystemConfig grew ``schedule_chaos`` (kernel choice-point hook).
 # v3: SpeculationConfig grew ``contention_policy``/``contention_fallback_k``
 #     (repro.policies).
-FINGERPRINT_VERSION = 3
+# v4: RunResult grew ``metrics`` (repro.obs); cached pre-v4 payloads would
+#     silently come back without telemetry.
+FINGERPRINT_VERSION = 4
 
 
 def _mp3d_coarse(num_threads: int, **kwargs) -> Workload:
@@ -108,6 +110,7 @@ def config_from_dict(data: dict) -> SystemConfig:
         spec=SpeculationConfig(**data["spec"]),
         seed=data["seed"],
         latency_jitter=data["latency_jitter"],
+        metrics=data.get("metrics", True),
         schedule_chaos=data.get("schedule_chaos", 0),
         max_cycles=data["max_cycles"],
     )

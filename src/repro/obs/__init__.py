@@ -1,0 +1,27 @@
+"""Observability: metrics, span tracing support, and trend tooling.
+
+The paper's evaluation is an exercise in *explaining* performance --
+stall attribution, restart counts, deferral behaviour -- so the
+reproduction carries a first-class observability layer:
+
+* :mod:`repro.obs.metrics` -- a dependency-free metrics registry
+  (counters, gauges, fixed-bucket histograms) plus
+  :class:`~repro.obs.collect.MachineMetrics`, the collector that the
+  coherence controllers and processors publish into through gated
+  ``obs`` attributes (same pattern as the verify layer's ``monitor``
+  hook: ``None`` in normal runs, one attribute test on the hot path).
+* span events live in :mod:`repro.sim.trace` (the :class:`Tracer`
+  pairs txn-begin/commit, defer/service and request/data into duration
+  spans for Perfetto).
+* :mod:`repro.harness.trend` diffs ``BENCH_*.json`` artifacts across
+  commits (the ``repro trend`` command).
+"""
+
+from repro.obs.metrics import (DEPTH_BUCKETS, LATENCY_BUCKETS, RETRY_BUCKETS,
+                               Histogram, MetricsRegistry, summarize_metrics)
+from repro.obs.collect import MachineMetrics
+
+__all__ = [
+    "DEPTH_BUCKETS", "LATENCY_BUCKETS", "RETRY_BUCKETS",
+    "Histogram", "MetricsRegistry", "MachineMetrics", "summarize_metrics",
+]

@@ -1,0 +1,172 @@
+"""MachineMetrics: the collector the simulated machine publishes into.
+
+Attachment follows the verify layer's ``monitor`` pattern: every
+:class:`~repro.coherence.controller.CacheController` and
+:class:`~repro.cpu.processor.Processor` carries an ``obs`` attribute
+that is ``None`` in normal runs; :meth:`MachineMetrics.attach` points
+them all at one collector, and each hook site pays a single attribute
+test when collection is off.
+
+Sampling is **event-driven**, never timer-driven: a periodic
+self-rescheduling sampler event would keep the kernel's queue non-empty
+and turn a genuine deadlock (queue drained with incomplete actors) into
+a max-cycles livelock diagnostic.  Deferral-queue depth is therefore
+observed at each push -- every change of the queue passes through a
+hook anyway -- and latencies are measured by pairing the open/close
+events (request->data, defer->service, marker/probe send->receive).
+
+The collector only *reads* simulation state; it schedules nothing and
+mutates nothing, so attaching it cannot change a run's fingerprint
+(pinned by the golden-fingerprint tests, which run with metrics on).
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.metrics import (DEPTH_BUCKETS, LATENCY_BUCKETS, RETRY_BUCKETS,
+                               MetricsRegistry)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.coherence.controller import CacheController
+    from repro.coherence.messages import BusRequest, Marker, Probe
+    from repro.cpu.processor import Processor
+    from repro.harness.machine import Machine
+
+
+class MachineMetrics:
+    """Collects conflict/latency telemetry from one machine run."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry or MetricsRegistry()
+        self._machine: Optional["Machine"] = None
+        # Open measurements, closed by the matching completion event.
+        self._miss_open: dict[int, int] = {}          # req_id -> issue time
+        self._defer_open: dict[int, int] = {}         # req_id -> defer time
+        self._nack_retries: TallyCounter = TallyCounter()  # req_id -> nacks
+        self._marker_open: dict[int, list[int]] = {}  # req_id -> send times
+        self._probe_open: dict[tuple, list[int]] = {}  # (line,ts,origin)
+
+    def attach(self, machine: "Machine") -> "MachineMetrics":
+        """Point every controller and processor at this collector.
+        Call before ``run_workload``."""
+        self._machine = machine
+        for controller in machine.controllers:
+            controller.obs = self
+        for processor in machine.processors:
+            processor.obs = self
+        return self
+
+    # ------------------------------------------------------------------
+    # Controller hooks
+    # ------------------------------------------------------------------
+    def on_request_issued(self, controller: "CacheController",
+                          request: "BusRequest") -> None:
+        """A miss left for the bus (first issue; NACK reissues keep the
+        original start so miss.latency covers the whole retry loop)."""
+        self.registry.counter("requests.issued").inc()
+        self._miss_open.setdefault(request.req_id, controller.sim.now)
+
+    def on_defer(self, controller: "CacheController",
+                 request: "BusRequest") -> None:
+        depth = len(controller.deferred)
+        self.registry.counter("defer.count").inc()
+        self.registry.histogram("defer.queue_depth",
+                                DEPTH_BUCKETS).observe(depth)
+        self.registry.gauge("defer.queue_depth").set(depth)
+        self._defer_open.setdefault(request.req_id, controller.sim.now)
+
+    def on_obligation_serviced(self, controller: "CacheController",
+                               request: "BusRequest") -> None:
+        started = self._defer_open.pop(request.req_id, None)
+        if started is not None:
+            self.registry.counter("defer.serviced").inc()
+            self.registry.histogram("defer.latency", LATENCY_BUCKETS) \
+                .observe(controller.sim.now - started)
+
+    def on_nack(self, controller: "CacheController",
+                request: "BusRequest") -> None:
+        """Our own request came back refused (requester side)."""
+        self.registry.counter("nack.received").inc()
+        self._nack_retries[request.req_id] += 1
+
+    def on_data(self, controller: "CacheController",
+                request: "BusRequest") -> None:
+        """The fill arrived: close the miss and its retry tally."""
+        issued = self._miss_open.pop(request.req_id, None)
+        if issued is not None:
+            self.registry.histogram("miss.latency", LATENCY_BUCKETS) \
+                .observe(controller.sim.now - issued)
+        self.registry.histogram("nack.retries_per_request", RETRY_BUCKETS) \
+            .observe(self._nack_retries.pop(request.req_id, 0))
+
+    def on_marker_sent(self, controller: "CacheController",
+                       marker: "Marker") -> None:
+        self.registry.counter("marker.sent").inc()
+        self._marker_open.setdefault(marker.req_id, []) \
+            .append(controller.sim.now)
+
+    def on_marker(self, controller: "CacheController",
+                  marker: "Marker") -> None:
+        sends = self._marker_open.get(marker.req_id)
+        if sends:
+            self.registry.counter("marker.received").inc()
+            self.registry.histogram("marker.latency", LATENCY_BUCKETS) \
+                .observe(controller.sim.now - sends.pop(0))
+
+    def on_probe_sent(self, controller: "CacheController",
+                      probe: "Probe") -> None:
+        self.registry.counter("probe.sent").inc()
+        self._probe_open.setdefault((probe.line, probe.ts, probe.origin),
+                                    []).append(controller.sim.now)
+
+    def on_probe(self, controller: "CacheController",
+                 probe: "Probe") -> None:
+        sends = self._probe_open.get((probe.line, probe.ts, probe.origin))
+        if sends:
+            self.registry.counter("probe.received").inc()
+            self.registry.histogram("probe.latency", LATENCY_BUCKETS) \
+                .observe(controller.sim.now - sends.pop(0))
+
+    # ------------------------------------------------------------------
+    # Processor hook
+    # ------------------------------------------------------------------
+    def on_restart(self, processor: "Processor", reason: str,
+                   backoff: int, streak: int) -> None:
+        """A speculation died and its restart was paced ``backoff``
+        cycles out after ``streak`` consecutive losses."""
+        self.registry.counter("restart.count").inc()
+        self.registry.histogram("restart.backoff", LATENCY_BUCKETS) \
+            .observe(backoff)
+        self.registry.histogram("restart.streak", RETRY_BUCKETS) \
+            .observe(streak)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def finalize(self, machine: Optional["Machine"] = None) -> dict:
+        """Fold in end-of-run state (per-policy telemetry, outcome
+        counters) and export the registry as a JSON-able dict."""
+        machine = machine or self._machine
+        if machine is not None:
+            for controller in machine.controllers:
+                for key, value in controller.policy.telemetry().items():
+                    self.registry.gauge(f"policy.{key}").set(value)
+            stats = machine.stats
+            # Restart reasons come from the stats aggregate rather than
+            # the on_restart hook: a restart delivered to a paused core
+            # is recorded there but never paced through the hook.
+            for reason, count in stats.reason_totals().items():
+                self.registry.counter(f"restart.reason.{reason}").inc(count)
+            self.registry.counter("txn.commits").inc(
+                stats.total("elisions_committed"))
+            self.registry.counter("txn.lock_fallbacks").inc(
+                stats.total("lock_fallbacks"))
+        payload = self.registry.to_dict()
+        if machine is not None and machine.controllers:
+            payload["meta"] = {
+                "policy": machine.controllers[0].policy.name,
+                "scheme": machine.config.scheme.value,
+            }
+        return payload

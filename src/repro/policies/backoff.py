@@ -109,3 +109,9 @@ class BackoffAborts(ContentionPolicy):
 
     def request_priority(self) -> int:
         return self.priority
+
+    def telemetry(self) -> dict:
+        data = super().telemetry()
+        data["priority"] = self.priority
+        data["nack_streak"] = self._nack_streak
+        return data

@@ -147,5 +147,16 @@ class ContentionPolicy:
         timestamps guarantee progress.)"""
         return False
 
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def telemetry(self) -> dict:
+        """End-of-run numeric state, exported as ``policy.<key>`` gauges
+        by :class:`repro.obs.MachineMetrics`.  Policies may accumulate
+        telemetry tallies inside ``resolve`` (counting its verdicts
+        never feeds back into a decision, so the side-effect-free
+        contract on *coherence state* is preserved)."""
+        return {"retries": self.retries}
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} cpu{self.cpu_id}>"

@@ -32,8 +32,20 @@ class NackRetention(TimestampDeferral):
     ordering = "timestamp"
     uses_nack = True
 
+    def __init__(self, config, cpu_id: int):
+        super().__init__(config, cpu_id)
+        #: Conflicts retained by a snoop-time refusal (vs. the deferral
+        #: fallback past the order point).
+        self.snoop_refusals = 0
+
     def resolve(self, ctx: ConflictContext) -> PolicyDecision:
         decision = super().resolve(ctx)
         if ctx.at_snoop and decision is PolicyDecision.DEFER:
+            self.snoop_refusals += 1
             return PolicyDecision.NACK_RETRY
         return decision
+
+    def telemetry(self) -> dict:
+        data = super().telemetry()
+        data["snoop_refusals"] = self.snoop_refusals
+        return data

@@ -32,8 +32,19 @@ class RequesterWins(ContentionPolicy):
     ordering = "none"
     uses_nack = False
 
+    def __init__(self, config, cpu_id: int):
+        super().__init__(config, cpu_id)
+        #: Conflicts this holder conceded (every one, by construction).
+        self.holder_aborts = 0
+
     def resolve(self, ctx: ConflictContext) -> PolicyDecision:
+        self.holder_aborts += 1
         return PolicyDecision.ABORT_HOLDER
+
+    def telemetry(self) -> dict:
+        data = super().telemetry()
+        data["holder_aborts"] = self.holder_aborts
+        return data
 
     def probe_beats(self, probe_ts: Timestamp,
                     holder_ts) -> bool:

@@ -35,6 +35,12 @@ class TimestampDeferral(ContentionPolicy):
     ordering = "timestamp"
     uses_nack = False
 
+    def __init__(self, config, cpu_id: int):
+        super().__init__(config, cpu_id)
+        #: Conflicts an *earlier*-timestamped requester would have won
+        #: that the Section 3.2 single-block relaxation deferred anyway.
+        self.relaxation_deferrals = 0
+
     def resolve(self, ctx: ConflictContext) -> PolicyDecision:
         if ctx.requester_ts is None:
             if self.config.spec.untimestamped_policy == "abort":
@@ -42,6 +48,12 @@ class TimestampDeferral(ContentionPolicy):
             return PolicyDecision.DEFER
         if beats(ctx.requester_ts, ctx.holder_ts):
             if ctx.relaxation_ok:
+                self.relaxation_deferrals += 1
                 return PolicyDecision.DEFER
             return PolicyDecision.ABORT_HOLDER
         return PolicyDecision.DEFER
+
+    def telemetry(self) -> dict:
+        data = super().telemetry()
+        data["relaxation_deferrals"] = self.relaxation_deferrals
+        return data

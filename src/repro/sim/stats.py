@@ -123,6 +123,14 @@ class SimStats:
     def elisions_committed(self) -> int:
         return self.total("elisions_committed")
 
+    def reason_totals(self) -> dict[str, int]:
+        """Restart-reason breakdown aggregated across processors (the
+        per-policy restart attribution the obs layer exports)."""
+        totals: Counter = Counter()
+        for cpu in self.cpus:
+            totals.update(cpu.restart_reasons)
+        return dict(sorted(totals.items()))
+
     def lock_fraction(self) -> float:
         """Fraction of all attributed stall cycles charged to locks."""
         stall = self.lock_stall_cycles + self.nonlock_stall_cycles

@@ -9,13 +9,29 @@ development, packaged for users debugging their workloads.
 Attach with :meth:`Tracer.attach`; it wraps the relevant controller and
 processor entry points non-invasively (no hooks are needed in the hot
 path when tracing is off).
+
+Besides instant events the tracer pairs matching begin/end instants
+into **span events** (:class:`SpanEvent`):
+
+* ``txn`` -- txn-begin to commit/abort/loss (the outcome is the span's
+  detail), one open span per CPU;
+* ``defer`` -- a request entering a holder's deferred queue to its
+  service at the holder's commit, keyed by request id;
+* ``request`` -- a miss leaving for the bus to its data fill, keyed by
+  request id (NACK reissues extend the original span).
+
+``to_chrome_trace`` exports spans as Chrome/Perfetto *async* events
+(``ph: "b"/"e"``) rather than strict ``B``/``E`` duration pairs:
+defer-spans routinely outlive the txn-span that deferred them, and
+async events do not require stack nesting per thread row.
 """
 
 from __future__ import annotations
 
 import functools
 import json
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -37,8 +53,47 @@ class TraceEvent:
         return f"{self.time:>9}  cpu{self.cpu:<3} {self.kind:<18}{where}  {self.detail}"
 
 
+@dataclass
+class SpanEvent:
+    """A paired begin/end duration (txn, defer, request)."""
+
+    begin: int
+    end: int
+    cpu: int
+    kind: str
+    line: Optional[int]
+    detail: str
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.begin
+
+    def render(self) -> str:
+        where = f" line={self.line:#x}" if self.line is not None else ""
+        return (f"{self.begin:>9}..{self.end:<9} cpu{self.cpu:<3} "
+                f"{self.kind:<10}{where}  {self.detail}")
+
+
+#: Instant kinds that open a span: kind -> (span kind, key builder).
+#: ``txn`` spans key on the CPU; ``defer``/``request`` spans key on the
+#: globally unique request id carried by the triggering message.
+_SPAN_OPENERS = {"txn-begin": "txn", "defer": "defer", "request": "request"}
+#: Instant kinds that close a span: kind -> (span kind, outcome label).
+_SPAN_CLOSERS = {"commit": ("txn", "commit"), "abort": ("txn", "abort"),
+                 "loss": ("txn", "loss"), "service": ("defer", ""),
+                 "data": ("request", "")}
+
+
 class Tracer:
-    """Records controller/processor events from one machine."""
+    """Records controller/processor events from one machine.
+
+    ``capacity`` bounds the instant-event buffer.  The default policy
+    drops the *newest* events once full (the historical behaviour,
+    cheap and allocation-free); ``ring=True`` keeps the most recent
+    ``capacity`` events instead -- the useful window when the bug is at
+    the *end* of a long run.  Dropped events are tallied per kind in
+    :attr:`dropped_by_kind` either way.
+    """
 
     CONTROLLER_HOOKS = {
         "handle_forward": "forward",
@@ -55,11 +110,18 @@ class Tracer:
         "enter_speculation": "txn-begin",
     }
 
-    def __init__(self, capacity: int = 100_000):
+    def __init__(self, capacity: int = 100_000, ring: bool = False):
         self.capacity = capacity
-        self.events: list[TraceEvent] = []
+        self.ring = ring
+        self.events = (deque(maxlen=capacity) if ring
+                       else [])  # type: ignore[var-annotated]
+        self.spans: list[SpanEvent] = []
         self.dropped = 0
+        self.dropped_by_kind: dict[str, int] = {}
         self._machine: Optional["Machine"] = None
+        # Open spans: txn keyed by cpu; defer/request keyed by req_id.
+        self._open: dict[str, dict] = {"txn": {}, "defer": {},
+                                       "request": {}}
 
     # ------------------------------------------------------------------
     # Attachment
@@ -74,6 +136,7 @@ class Tracer:
         for processor in machine.processors:
             self._wrap(processor, "commit_transaction", "txn-commit")
             self._wrap(processor, "_on_misspeculation", "misspec")
+        self._wrap_issue(machine.bus)
         return self
 
     def _wrap(self, obj, method_name: str, kind: str) -> None:
@@ -83,21 +146,71 @@ class Tracer:
 
         @functools.wraps(original)
         def shim(*args, **kwargs):
-            self.record(sim.now, cpu, kind, _line_of_args(args),
-                        _describe(args))
+            self.record(sim.now, cpu, kind, _line_of_args(args, kind),
+                        _describe(args), ref=_ref_of_args(args))
             return original(*args, **kwargs)
 
         setattr(obj, method_name, shim)
+
+    def _wrap_issue(self, bus) -> None:
+        """Record each request leaving for the interconnect, attributed
+        to the *requesting* CPU (the bus itself has no cpu identity)."""
+        original = bus.issue
+        sim = bus.sim
+
+        @functools.wraps(original)
+        def shim(request):
+            self.record(sim.now, request.requester, "request",
+                        request.line, repr(request), ref=request.req_id)
+            return original(request)
+
+        bus.issue = shim
 
     # ------------------------------------------------------------------
     # Recording and querying
     # ------------------------------------------------------------------
     def record(self, time: int, cpu: int, kind: str,
-               line: Optional[int], detail: str) -> None:
+               line: Optional[int], detail: str,
+               ref: Optional[int] = None) -> None:
+        # Span pairing happens regardless of the instant buffer's
+        # capacity: spans are few (one per txn/defer/miss) and losing
+        # their ends alongside dropped instants would corrupt durations.
+        self._update_spans(time, cpu, kind, line, ref)
         if len(self.events) >= self.capacity:
             self.dropped += 1
-            return
+            if self.ring:
+                evicted = self.events[0]  # pushed out by append below
+                self.dropped_by_kind[evicted.kind] = \
+                    self.dropped_by_kind.get(evicted.kind, 0) + 1
+            else:
+                self.dropped_by_kind[kind] = \
+                    self.dropped_by_kind.get(kind, 0) + 1
+                return
         self.events.append(TraceEvent(time, cpu, kind, line, detail))
+
+    def _update_spans(self, time: int, cpu: int, kind: str,
+                      line: Optional[int], ref: Optional[int]) -> None:
+        span_kind = _SPAN_OPENERS.get(kind)
+        if span_kind is not None:
+            open_spans = self._open[span_kind]
+            key = cpu if span_kind == "txn" else ref
+            if key is not None or span_kind == "txn":
+                open_spans.setdefault(key, (time, cpu, line))
+            return
+        closer = _SPAN_CLOSERS.get(kind)
+        if closer is None:
+            return
+        span_kind, outcome = closer
+        key = cpu if span_kind == "txn" else ref
+        opened = self._open[span_kind].pop(key, None)
+        if opened is None:
+            return  # no matching begin (e.g. abort outside speculation)
+        begin, span_cpu, span_line = opened
+        self.spans.append(SpanEvent(begin=begin, end=time, cpu=span_cpu,
+                                    kind=span_kind,
+                                    line=span_line if span_line is not None
+                                    else line,
+                                    detail=outcome))
 
     def filter(self, kinds: Optional[Iterable[str]] = None,
                cpu: Optional[int] = None,
@@ -120,15 +233,47 @@ class Tracer:
             out.append(event)
         return out
 
+    def filter_spans(self, kinds: Optional[Iterable[str]] = None,
+                     cpu: Optional[int] = None,
+                     line: Optional[int] = None,
+                     since: int = 0, until: Optional[int] = None
+                     ) -> list[SpanEvent]:
+        """Like :meth:`filter`, over paired spans.  A span matches a
+        time window when it *overlaps* it (a long transaction is part
+        of the story of every window it crosses)."""
+        wanted = set(kinds) if kinds is not None else None
+        out = []
+        for span in self.spans:
+            if wanted is not None and span.kind not in wanted:
+                continue
+            if cpu is not None and span.cpu != cpu:
+                continue
+            if line is not None and span.line != line:
+                continue
+            if span.end < since:
+                continue
+            if until is not None and span.begin > until:
+                continue
+            out.append(span)
+        return out
+
     def render(self, **filter_kwargs) -> str:
         lines = [event.render() for event in self.filter(**filter_kwargs)]
         if self.dropped:
             lines.append(f"... {self.dropped} events dropped "
-                         f"(capacity {self.capacity})")
+                         f"({'ring' if self.ring else 'tail'} mode, "
+                         f"capacity {self.capacity})")
         return "\n".join(lines)
 
-    def counts(self) -> dict[str, int]:
-        """Event-kind histogram (handy for assertions in tests)."""
+    def counts(self, dropped: bool = False) -> dict[str, int]:
+        """Event-kind histogram (handy for assertions in tests).
+
+        With ``dropped=True``, the histogram of events that fell to the
+        capacity bound instead (per kind: the newest-dropped kinds in
+        the default mode, the evicted-oldest kinds under ``ring``).
+        """
+        if dropped:
+            return dict(self.dropped_by_kind)
         histogram: dict[str, int] = {}
         for event in self.events:
             histogram[event.kind] = histogram.get(event.kind, 0) + 1
@@ -140,19 +285,23 @@ class Tracer:
     def to_chrome_trace(self, path: Union[str, "os.PathLike"],
                         **filter_kwargs) -> int:
         """Write the (optionally filtered) events as a ``chrome://tracing``
-        / Perfetto JSON file and return the number of events written.
+        / Perfetto JSON file and return the number of instant events
+        written.
 
         Each simulation cycle maps to one microsecond on the viewer's
         timeline (the target machine runs at 1 GHz, so a cycle is really
         a nanosecond; the x1000 scale only renames the axis).  Every CPU
         appears as its own thread row, each recorded event as an instant
-        event on that row, so a failing schedule from the explorer can be
-        inspected visually -- load the file via ``chrome://tracing`` or
-        https://ui.perfetto.dev.
+        event on that row, and each paired span (txn, defer, request) as
+        an async begin/end bar, so a failing schedule from the explorer
+        can be inspected visually -- load the file via
+        ``chrome://tracing`` or https://ui.perfetto.dev.
         """
         events = self.filter(**filter_kwargs)
+        spans = self.filter_spans(**filter_kwargs)
         payload: list[dict] = []
-        for cpu in sorted({e.cpu for e in events}):
+        cpus = sorted({e.cpu for e in events} | {s.cpu for s in spans})
+        for cpu in cpus:
             payload.append({"name": "thread_name", "ph": "M", "pid": 0,
                             "tid": cpu,
                             "args": {"name": f"cpu{cpu}"}})
@@ -163,22 +312,50 @@ class Tracer:
             payload.append({"name": event.kind, "ph": "i", "s": "t",
                             "pid": 0, "tid": event.cpu,
                             "ts": event.time, "args": args})
+        for index, span in enumerate(spans):
+            name = (f"{span.kind}:{span.detail}" if span.detail
+                    else span.kind)
+            args = {}
+            if span.line is not None:
+                args["line"] = f"{span.line:#x}"
+            common = {"name": name, "cat": span.kind, "id": index,
+                      "pid": 0, "tid": span.cpu, "args": args}
+            payload.append({**common, "ph": "b", "ts": span.begin})
+            payload.append({**common, "ph": "e", "ts": span.end})
         with open(path, "w", encoding="utf-8") as fh:
             json.dump({"traceEvents": payload, "displayTimeUnit": "ms"},
                       fh)
         return len(events)
 
 
-def _line_of_args(args) -> Optional[int]:
+#: Hooked methods that carry a bare-``int`` cache line at a known
+#: positional index (every other hook's line rides on a message
+#: object's ``.line`` attribute).  ``_handle_loss(reason, line, ts)``
+#: and ``_on_misspeculation(reason, line)`` both carry it second.
+_INT_LINE_POS = {"loss": 1, "misspec": 1}
+
+
+def _line_of_args(args, kind: Optional[str] = None) -> Optional[int]:
     for arg in args:
         line = getattr(arg, "line", None)
         if isinstance(line, int):
             return line
-        if hasattr(arg, "line") and isinstance(getattr(arg, "line"), int):
-            return getattr(arg, "line")
+    # Bare ints are accepted only from positions known to carry a line
+    # address: an arbitrary int argument (a timestamp component, a
+    # count) must not be misattributed as a cache line.
+    pos = _INT_LINE_POS.get(kind)
+    if pos is not None and pos < len(args) and isinstance(args[pos], int):
+        return args[pos]
+    return None
+
+
+def _ref_of_args(args) -> Optional[int]:
+    """The request id carried by the first message argument, if any
+    (used to pair defer/service and request/data spans)."""
     for arg in args:
-        if isinstance(arg, int):
-            return arg
+        req_id = getattr(arg, "req_id", None)
+        if isinstance(req_id, int):
+            return req_id
     return None
 
 

@@ -25,6 +25,7 @@ from repro.harness.cache import resolve_cache
 from repro.harness.machine import Machine
 from repro.harness.parallel import _pool_context, _wall_clock_limit
 from repro.harness.spec import SIZE_PARAM, RunSpec, scheme_to_str
+from repro.obs import MachineMetrics
 from repro.runtime.program import ValidationError
 from repro.sim.kernel import SimulationError
 from repro.sim.trace import Tracer
@@ -36,7 +37,9 @@ from repro.verify.recorder import FootprintRecorder
 # that invalidates cached verification verdicts.
 # v2: VerifyResult grew ``cycles``/``summary``; monitors became
 #     contention-policy aware (repro.policies).
-VERIFY_FINGERPRINT_VERSION = 2
+# v3: VerifyResult grew ``metrics`` (repro.obs conflict telemetry);
+#     cached pre-v3 verdicts would come back without it.
+VERIFY_FINGERPRINT_VERSION = 3
 
 #: Cycles of trace to render before/after the first violation.
 TRACE_WINDOW_BEFORE = 2_000
@@ -80,6 +83,9 @@ class VerifyResult:
     elapsed: float = 0.0
     cycles: int = 0                    # simulated parallel execution time
     summary: dict = field(default_factory=dict)  # key machine counters
+    # Conflict telemetry (repro.obs registry export); None when loaded
+    # from a pre-v3 cached verdict.
+    metrics: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return {"workload": self.workload, "scheme": self.scheme,
@@ -88,7 +94,8 @@ class VerifyResult:
                 "violations": list(self.violations),
                 "num_txns": self.num_txns, "edges": dict(self.edges),
                 "elapsed": self.elapsed, "cycles": self.cycles,
-                "summary": dict(self.summary)}
+                "summary": dict(self.summary),
+                "metrics": self.metrics}
 
     @classmethod
     def from_dict(cls, data: dict) -> "VerifyResult":
@@ -100,7 +107,8 @@ class VerifyResult:
                    edges=dict(data.get("edges") or {}),
                    elapsed=data.get("elapsed", 0.0),
                    cycles=data.get("cycles", 0),
-                   summary=dict(data.get("summary") or {}))
+                   summary=dict(data.get("summary") or {}),
+                   metrics=data.get("metrics"))
 
     def headline(self) -> str:
         status = "ok" if self.ok else "FAIL"
@@ -130,6 +138,8 @@ def verify_run(spec: RunSpec, options: Optional[VerifyOptions] = None,
     workload = spec.build_workload()
     machine = Machine(spec.config)
     tracer = Tracer().attach(machine) if collect_trace else None
+    collector = (MachineMetrics().attach(machine)
+                 if spec.config.metrics else None)
     recorder = FootprintRecorder().attach(machine)
     monitors = None
     if options.monitors:
@@ -173,7 +183,9 @@ def verify_run(spec: RunSpec, options: Optional[VerifyOptions] = None,
         edges=edges,
         elapsed=time.perf_counter() - started,
         cycles=stats_image.get("total_cycles", 0) or machine.sim.now,
-        summary=summary)
+        summary=summary,
+        metrics=(collector.finalize(machine)
+                 if collector is not None else None))
     return result, tracer
 
 

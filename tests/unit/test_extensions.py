@@ -191,3 +191,139 @@ class TestMachineDump:
         text = machine.dump_state()
         assert "cpu0" in text and "cpu1" in text
         assert len(machine.controllers[0].deferred) == before
+
+
+class TestTracerSpans:
+    def _traced_run(self, ops: int = 64):
+        cfg = small_config(2, SyncScheme.TLR)
+        machine = Machine(cfg)
+        tracer = Tracer().attach(machine)
+        machine.run_workload(single_counter(2, ops))
+        return machine, tracer
+
+    def test_txn_spans_pair_begin_with_outcome(self):
+        machine, tracer = self._traced_run()
+        txn = tracer.filter_spans(kinds=["txn"])
+        assert txn, "no transaction spans recorded"
+        assert all(s.end >= s.begin for s in txn)
+        outcomes = {s.detail for s in txn}
+        assert outcomes <= {"commit", "abort", "loss"}
+        commits = sum(1 for s in txn if s.detail == "commit")
+        assert commits == machine.stats.total("elisions_committed")
+
+    def test_defer_and_request_spans(self):
+        _, tracer = self._traced_run()
+        defer = tracer.filter_spans(kinds=["defer"])
+        assert defer and all(s.duration > 0 for s in defer)
+        requests = tracer.filter_spans(kinds=["request"])
+        assert requests and all(s.end >= s.begin for s in requests)
+
+    def test_span_window_filter_matches_overlap(self):
+        _, tracer = self._traced_run()
+        span = tracer.spans[len(tracer.spans) // 2]
+        mid = (span.begin + span.end) // 2
+        window = tracer.filter_spans(since=mid, until=mid)
+        assert span in window
+
+    def test_chrome_export_emits_async_span_pairs(self, tmp_path):
+        import json as jsonlib
+
+        _, tracer = self._traced_run()
+        path = tmp_path / "spans.json"
+        written = tracer.to_chrome_trace(path)
+        events = jsonlib.loads(path.read_text())["traceEvents"]
+        begins = [e for e in events if e["ph"] == "b"]
+        ends = [e for e in events if e["ph"] == "e"]
+        assert len(begins) == len(ends) == len(tracer.spans) > 0
+        # Return value counts instants only (the pre-span contract).
+        assert written == len([e for e in events if e["ph"] == "i"])
+        by_id = {e["id"]: e for e in begins}
+        for end in ends:
+            begin = by_id[end["id"]]
+            assert begin["ts"] <= end["ts"]
+            assert begin["pid"] == end["pid"] == 0
+            assert begin["tid"] == end["tid"]
+            assert begin["cat"] == end["cat"] in {"txn", "defer",
+                                                  "request"}
+
+    def test_chrome_export_filter_kwargs_apply_to_spans(self, tmp_path):
+        import json as jsonlib
+
+        _, tracer = self._traced_run()
+        path = tmp_path / "cpu0.json"
+        tracer.to_chrome_trace(path, cpu=0)
+        events = jsonlib.loads(path.read_text())["traceEvents"]
+        rows = [e for e in events if e["ph"] in ("i", "b", "e")]
+        assert rows and all(e["tid"] == 0 for e in rows)
+
+    def test_spans_survive_instant_capacity(self):
+        cfg = small_config(2, SyncScheme.TLR)
+        machine = Machine(cfg)
+        full = Tracer().attach(machine)
+        machine.run_workload(single_counter(2, 64))
+
+        machine2 = Machine(small_config(2, SyncScheme.TLR))
+        tiny = Tracer(capacity=5).attach(machine2)
+        machine2.run_workload(single_counter(2, 64))
+        assert len(tiny.spans) == len(full.spans) > 0
+
+
+class TestTracerRingMode:
+    def test_ring_keeps_newest_events(self):
+        cfg = small_config(2, SyncScheme.TLR)
+        machine = Machine(cfg)
+        tracer = Tracer(capacity=10, ring=True).attach(machine)
+        machine.run_workload(single_counter(2, 64))
+        assert len(tracer.events) == 10
+        assert tracer.dropped > 0
+        # The ring holds the *end* of the run, not its start.
+        assert min(e.time for e in tracer.events) > machine.sim.now // 2
+        assert "ring" in tracer.render()
+
+    def test_drop_accounting_per_kind(self):
+        cfg = small_config(2, SyncScheme.TLR)
+        machine = Machine(cfg)
+        tracer = Tracer(capacity=10, ring=True).attach(machine)
+        machine.run_workload(single_counter(2, 64))
+        dropped = tracer.counts(dropped=True)
+        assert sum(dropped.values()) == tracer.dropped > 0
+
+    def test_default_mode_drops_newest(self):
+        cfg = small_config(2, SyncScheme.TLR)
+        machine = Machine(cfg)
+        tracer = Tracer(capacity=10).attach(machine)
+        machine.run_workload(single_counter(2, 64))
+        dropped = tracer.counts(dropped=True)
+        assert sum(dropped.values()) == tracer.dropped > 0
+        # Default mode keeps the *start* of the run (ring keeps the end).
+        assert max(e.time for e in tracer.events) < machine.sim.now // 2
+
+
+class TestLineOfArgs:
+    def test_message_line_attribute_wins(self):
+        from repro.sim.trace import _line_of_args
+
+        class Msg:
+            line = 0x80
+        assert _line_of_args((Msg(),)) == 0x80
+
+    def test_bare_int_only_from_known_positions(self):
+        from repro.sim.trace import _line_of_args
+
+        # _handle_loss(reason, line, ts) / _on_misspeculation(reason,
+        # line) carry the line at position 1.
+        assert _line_of_args(("probe-lost", 0x40, (3, 1)),
+                             kind="loss") == 0x40
+        assert _line_of_args(("invalidated", 0x40),
+                             kind="misspec") == 0x40
+        # An int in an unknown hook must not be misread as a line.
+        assert _line_of_args((7,), kind="nack") is None
+        assert _line_of_args((7,)) is None
+        assert _line_of_args(("reason",), kind="loss") is None
+
+    def test_non_int_line_attribute_ignored(self):
+        from repro.sim.trace import _line_of_args
+
+        class Odd:
+            line = "not-a-line"
+        assert _line_of_args((Odd(),)) is None

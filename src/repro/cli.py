@@ -176,6 +176,48 @@ def _build_parser() -> argparse.ArgumentParser:
              "(default 0.05 = 5%%)")
     trend_cmd.add_argument("--json", action="store_true",
                            help="emit the report as JSON")
+    trend_cmd.add_argument(
+        "--history", type=int, default=None, metavar="N",
+        help="instead of a two-point diff, show per-metric value "
+             "series across HEAD~N..HEAD plus the working tree "
+             "(changing metrics only; informational, never fails)")
+    trend_cmd.add_argument(
+        "--all-metrics", action="store_true",
+        help="with --history: include metrics that never changed")
+
+    perf_cmd = sub.add_parser(
+        "perf", help="measure simulator throughput (events/sec, wall "
+                     "seconds, peak RSS) on the profiled hot workloads")
+    perf_cmd.add_argument("--quick", action="store_true",
+                          help="quarter-size workloads (CI smoke)")
+    perf_cmd.add_argument("--repeats", type=int, default=3,
+                          help="runs per workload; best wall time wins")
+    perf_cmd.add_argument("--out", type=str, default=None,
+                          help="write the BENCH-schema payload to this "
+                               "path (e.g. BENCH_perf.json)")
+    perf_cmd.add_argument("--baseline", type=str, default=None,
+                          help="an earlier perf payload (file or git "
+                               "ref) to record speedups against")
+    perf_cmd.add_argument("--check", type=str, default=None,
+                          metavar="REF|PATH",
+                          help="fail if events/sec dropped more than "
+                               "--max-drop vs this reference payload")
+    perf_cmd.add_argument("--max-drop", type=float, default=0.25,
+                          help="allowed relative events/sec drop for "
+                               "--check (default 0.25)")
+    perf_cmd.add_argument("--json", action="store_true",
+                          help="emit the payload as JSON on stdout")
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or clean the on-disk result cache")
+    cache_cmd.add_argument("--cache-dir", type=str, default=None,
+                           help="cache location (default "
+                                "$REPRO_CACHE_DIR or ~/.cache/repro-tlr)")
+    cache_cmd.add_argument("--prune", action="store_true",
+                           help="remove entries from superseded "
+                                "fingerprint-schema versions")
+    cache_cmd.add_argument("--clear", action="store_true",
+                           help="remove every entry (all versions)")
 
     runner = sub.add_parser("run", help="run one workload")
     runner.add_argument("workload", choices=sorted(WORKLOAD_BUILDERS))
@@ -190,6 +232,11 @@ def _build_parser() -> argparse.ArgumentParser:
     runner.add_argument("--metrics", action="store_true",
                         help="also print the run's conflict telemetry "
                              "(counters, gauges, histograms)")
+    runner.add_argument("--format", choices=("table", "openmetrics"),
+                        default="table",
+                        help="telemetry rendering for --metrics: the "
+                             "human table or OpenMetrics text "
+                             "exposition format")
     _engine_opts(runner)
 
     sub.add_parser("list", help="list workloads and schemes")
@@ -365,6 +412,21 @@ def main(argv: Optional[list[str]] = None) -> int:
                   file=sys.stderr)
             return 2
         against = args.against or args.ref or "HEAD"
+        if args.history is not None:
+            try:
+                history = trend.history_report(
+                    args.history, artifacts_dir=args.artifacts,
+                    repo=args.repo)
+            except trend.TrendError as exc:
+                print(f"trend: {exc}", file=sys.stderr)
+                return 2
+            changed_only = not args.all_metrics
+            if args.json:
+                print(json.dumps(history.to_dict(changed_only=changed_only),
+                                 indent=2))
+            else:
+                print(history.to_markdown(changed_only=changed_only))
+            return 0
         try:
             result = trend.trend_report(
                 against=against, artifacts_dir=args.artifacts,
@@ -405,10 +467,63 @@ def main(argv: Optional[list[str]] = None) -> int:
         for key, value in outcome.stats.summary().items():
             print(f"  {key}: {value}")
         if args.metrics:
-            table = report.metrics_table(outcome.metrics)
-            print(table if table else "  (no telemetry: run was cached "
-                                      "before metrics or config.metrics "
-                                      "is off)")
+            if args.format == "openmetrics":
+                from repro.obs import openmetrics_from_dict
+                print(openmetrics_from_dict(outcome.metrics), end="")
+            else:
+                table = report.metrics_table(outcome.metrics)
+                print(table if table else "  (no telemetry: run was "
+                                          "cached before metrics or "
+                                          "config.metrics is off)")
+        return 0
+
+    if args.command == "perf":
+        from repro.harness import perf
+        baseline = None
+        if args.baseline:
+            try:
+                baseline = perf.load_reference(args.baseline)
+            except (FileNotFoundError, json.JSONDecodeError) as exc:
+                print(f"perf: {exc}", file=sys.stderr)
+                return 2
+        payload = perf.run_perf(quick=args.quick, repeats=args.repeats,
+                                baseline=baseline)
+        if args.out:
+            from pathlib import Path
+            Path(args.out).write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(perf.render_table(payload))
+        if args.check:
+            try:
+                reference = perf.load_reference(args.check)
+            except (FileNotFoundError, json.JSONDecodeError) as exc:
+                print(f"perf: {exc}", file=sys.stderr)
+                return 2
+            failures = perf.check_throughput(payload, reference,
+                                             max_drop=args.max_drop)
+            for failure in failures:
+                print(f"perf regression: {failure}", file=sys.stderr)
+            if failures:
+                return 1
+            print(f"perf check vs {args.check}: ok "
+                  f"(events/sec within {args.max_drop:.0%})")
+        return 0
+
+    if args.command == "cache":
+        from repro.harness.cache import ResultCache
+        store = ResultCache(args.cache_dir)
+        if args.clear:
+            print(f"removed {store.clear()} entries from {store.root}")
+            return 0
+        if args.prune:
+            print(f"pruned {store.prune()} superseded entries "
+                  f"from {store.root}")
+        print(f"cache root: {store.root}")
+        print(f"current schema: {store.version_dir.name} "
+              f"({len(store)} entries)")
         return 0
 
     return 2  # pragma: no cover - argparse enforces choices

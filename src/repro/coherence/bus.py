@@ -79,6 +79,14 @@ class Bus:
         self._next_grant_time = 0
         self._outstanding = 0
         self._granting = False
+        # Bound-method dispatch for the order point, built once instead
+        # of per transaction.
+        self._order_handlers = {
+            ReqKind.GETS: self._order_gets,
+            ReqKind.GETX: self._order_getx,
+            ReqKind.UPG: self._order_upg,
+            ReqKind.WB: self._order_wb,
+        }
 
     # ------------------------------------------------------------------
     # Wiring
@@ -131,8 +139,10 @@ class Bus:
         self.stats.bus_transactions += 1
         self.stats.bus_busy_cycles += self.config.occupancy
         self._next_grant_time = self.sim.now + self.config.occupancy
+        label = (f"bus-order {request!r}" if self.sim.verbose_labels
+                 else "bus-order")
         self.sim.schedule(self.config.snoop_latency, self._order, request,
-                          label=f"bus-order {request!r}")
+                          label=label)
         self._pump()
 
     # ------------------------------------------------------------------
@@ -140,13 +150,7 @@ class Bus:
     # ------------------------------------------------------------------
     def _order(self, request: BusRequest) -> None:
         request.order_time = self.sim.now
-        handler = {
-            ReqKind.GETS: self._order_gets,
-            ReqKind.GETX: self._order_getx,
-            ReqKind.UPG: self._order_upg,
-            ReqKind.WB: self._order_wb,
-        }[request.kind]
-        handler(request)
+        self._order_handlers[request.kind](request)
 
     def _nacked(self, request: BusRequest) -> bool:
         """NACK-policy snoop outcome: if the owning cache refuses the
@@ -162,9 +166,10 @@ class Bus:
             return False
         self._outstanding -= 1
         requester = self.controllers[request.requester]
+        label = f"nack {request!r}" if self.sim.verbose_labels else "nack"
         self.sim.schedule(self.config.snoop_latency,
                           requester.handle_nack, request,
-                          label=f"nack {request!r}")
+                          label=label)
         self._pump()
         return True
 

@@ -71,6 +71,10 @@ class CacheArray:
         self.config = config
         self._sets: list[dict[int, Line]] = [
             {} for _ in range(config.num_sets)]
+        # ``num_sets`` is a derived config property; resolve it once --
+        # the mask is consulted on every lookup.
+        self._set_mask = config.num_sets - 1
+        self._assoc = config.assoc
         self.victim = VictimCache(config.victim_entries)
         self._use_clock = 0
         # Lines that must not be evicted (pending miss / obligation).
@@ -80,7 +84,7 @@ class CacheArray:
     # Address mapping
     # ------------------------------------------------------------------
     def set_index(self, line_addr: int) -> int:
-        return line_addr & (self.config.num_sets - 1)
+        return line_addr & self._set_mask
 
     # ------------------------------------------------------------------
     # Pinning
@@ -99,7 +103,7 @@ class CacheArray:
     # ------------------------------------------------------------------
     def lookup(self, line_addr: int) -> Optional[Line]:
         """Find a valid line in the main array or the victim cache."""
-        line = self._sets[self.set_index(line_addr)].get(line_addr)
+        line = self._sets[line_addr & self._set_mask].get(line_addr)
         if line is not None:
             self._use_clock += 1
             line.last_use = self._use_clock
@@ -120,7 +124,7 @@ class CacheArray:
         replacement state and victim residency, changing the very
         execution being checked.
         """
-        line = self._sets[self.set_index(line_addr)].get(line_addr)
+        line = self._sets[line_addr & self._set_mask].get(line_addr)
         if line is not None:
             return line
         return self.victim.lookup(line_addr)
@@ -141,11 +145,10 @@ class CacheArray:
         return line
 
     def _install(self, line: Line) -> None:
-        index = self.set_index(line.addr)
-        cache_set = self._sets[index]
+        cache_set = self._sets[line.addr & self._set_mask]
         self._use_clock += 1
         line.last_use = self._use_clock
-        if len(cache_set) >= self.config.assoc:
+        if len(cache_set) >= self._assoc:
             victim = self._choose_victim(cache_set)
             del cache_set[victim.addr]
             if victim.state.valid:

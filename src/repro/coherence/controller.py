@@ -84,6 +84,16 @@ class CacheController:
         self.cache.on_eviction = self._evict_dirty
         self.mshrs = MshrFile()
         self.deferred = DeferredQueue(capacity=max(8, 4 * config.num_cpus))
+        # Hot-path constants, resolved once (each is an attribute chain
+        # through config dataclasses otherwise).
+        self._hit_latency = config.cache.hit_latency
+        self._single_block_relax = config.spec.single_block_relaxation
+        # Lines touched by the current transaction (addr -> Line).  The
+        # controller is the only writer of the per-line access bits, so
+        # this registry is always a superset of {lines with accessed set}
+        # and replaces whole-cache scans at commit/abort time; entries
+        # whose bits were cleared individually are filtered on read.
+        self._spec_touched: dict[int, Line] = {}
         self.chains: dict[int, ChainState] = {}
         self.watchers: dict[int, list[Callable[[], None]]] = {}
         self.evicting: dict[int, BusRequest] = {}
@@ -167,9 +177,25 @@ class CacheController:
             # Watch every miss, not just transactional ones: a restarted
             # transaction may merge onto a request issued outside the
             # transaction, and its priority must still be championed.
+            label = (f"probe-wd {line_addr:#x}" if self.sim.verbose_labels
+                     else "probe-wd")
             self.sim.schedule(PROBE_WATCHDOG_PERIOD, self._probe_watchdog,
-                              line_addr, request.req_id,
-                              label=f"probe-wd {line_addr:#x}")
+                              line_addr, request.req_id, label=label)
+        return False
+
+    def try_hit(self, line_addr: int, need_writable: bool) -> bool:
+        """Hit-only fast path for the processor: mirrors the hit leg of
+        :meth:`access` exactly (same lookup, same stats) without the
+        caller having to build effect/squash closures first.  Returns
+        False on a miss with no side effects beyond the lookup's
+        (order-preserving) LRU bump; the caller then takes the full
+        :meth:`access` path.
+        """
+        line = self.cache.lookup(line_addr)
+        if line is not None and line.state.valid and (
+                not need_writable or line.state.writable):
+            self.stats.l1_hits += 1
+            return True
         return False
 
     def _probe_watchdog(self, line_addr: int, req_id: int) -> None:
@@ -190,8 +216,10 @@ class CacheController:
             if chain is not None and chain.upstream is not None:
                 self._send_probe(chain.upstream, line_addr, self.current_ts,
                                  origin=self.cpu_id)
+        label = (f"probe-wd {line_addr:#x}" if self.sim.verbose_labels
+                 else "probe-wd")
         self.sim.schedule(PROBE_WATCHDOG_PERIOD, self._probe_watchdog,
-                          line_addr, req_id, label=f"probe-wd {line_addr:#x}")
+                          line_addr, req_id, label=label)
 
     def _retry_access(self, line_addr: int, write: bool,
                       on_effect: Callable[[], None], want_exclusive: bool,
@@ -225,9 +253,18 @@ class CacheController:
         line.accessed = True
         if written:
             line.spec_written = True
+        self._spec_touched[line_addr] = line
+
+    def _speculative_lines(self) -> list[Line]:
+        """The transaction's accessed lines, from the touched-line
+        registry instead of a whole-cache scan.  Identical contents to
+        ``cache.speculative_lines()``: the registry is a superset of the
+        accessed set and the filter drops individually-cleared entries.
+        """
+        return [l for l in self._spec_touched.values() if l.accessed]
 
     def speculative_footprint(self) -> int:
-        return len(self.cache.speculative_lines())
+        return len(self._speculative_lines())
 
     # -- spin-wait support ---------------------------------------------
     def watch(self, line_addr: int, callback: Callable[[], None]) -> None:
@@ -235,8 +272,15 @@ class CacheController:
         self.watchers.setdefault(line_addr, []).append(callback)
 
     def _wake_watchers(self, line_addr: int) -> None:
-        for callback in self.watchers.pop(line_addr, []):
-            self.sim.schedule(0, callback, label=f"wake {line_addr:#x}")
+        if not self.watchers:
+            return
+        pending = self.watchers.pop(line_addr, None)
+        if not pending:
+            return
+        label = (f"wake {line_addr:#x}" if self.sim.verbose_labels
+                 else "wake")
+        for callback in pending:
+            self.sim.schedule(0, callback, label=label)
 
     # -- LL/SC link ----------------------------------------------------
     def set_link(self, line_addr: int) -> None:
@@ -263,6 +307,7 @@ class CacheController:
         mode.  ``ts`` is the TLR timestamp, or None under plain SLE."""
         self.speculating = True
         self.current_ts = ts
+        self._spec_touched.clear()
 
     def commit_speculation(self) -> None:
         """``end_defer`` on success: clear access bits, service waiters.
@@ -281,17 +326,23 @@ class CacheController:
         self._exit_speculation()
 
     def _exit_speculation(self) -> None:
-        for line in self.cache.speculative_lines():
+        for line in self._speculative_lines():
             line.clear_speculative()
+        self._spec_touched.clear()
         self.speculating = False
         self.current_ts = None
         self._service_deferred()
 
     def _service_deferred(self) -> None:
+        if not self.deferred:
+            return
+        verbose = self.sim.verbose_labels
         for entry in self.deferred.drain():
-            self.sim.schedule(self.config.cache.hit_latency,
+            label = (f"svc-deferred {entry.request!r}" if verbose
+                     else "svc-deferred")
+            self.sim.schedule(self._hit_latency,
                               self._service_obligation, entry.request,
-                              label=f"svc-deferred {entry.request!r}")
+                              label=label)
 
     # ------------------------------------------------------------------
     # Conflict resolution (the heart of TLR)
@@ -320,13 +371,14 @@ class CacheController:
         return written
 
     def _relaxation_ok(self, line_addr: int) -> bool:
-        if not self.config.spec.single_block_relaxation:
+        if not self._single_block_relax:
             return False
-        if not self.deferred.lines() <= {line_addr}:
+        if not self.deferred.only_line(line_addr):
             return False
-        outstanding = [m for m in self.mshrs
-                       if m.in_txn and m.line != line_addr]
-        return not outstanding
+        for m in self.mshrs.entries_view():
+            if m.in_txn and m.request.line != line_addr:
+                return False
+        return True
 
     def _must_release_before_miss(self, new_line: int) -> bool:
         """Two situations force a release before taking a new miss:
@@ -339,18 +391,24 @@ class CacheController:
           own request would queue behind the very chain we are stalling
           (a self-wait cycle no probe can break, since the probe carries
           our own timestamp back to us).
+
+        Every policy answers False for an empty deferred queue, so the
+        early-out is behaviour-preserving.
         """
-        if new_line in self.deferred.lines():
+        deferred = self.deferred
+        if not deferred:
+            return False
+        if deferred.has_line(new_line):
             return True
-        return self.policy.must_release_before_miss(self.deferred,
+        return self.policy.must_release_before_miss(deferred,
                                                     self.current_ts)
 
     def _policy_ctx(self, request: BusRequest,
                     at_snoop: bool = False) -> ConflictContext:
         """Package one conflict for the contention policy."""
         _, written = self._accessed_in_txn(request.line)
-        has_miss = any(m.in_txn and m.line != request.line
-                       for m in self.mshrs)
+        has_miss = any(m.in_txn and m.request.line != request.line
+                       for m in self.mshrs.entries_view())
         return ConflictContext(
             line=request.line, requester=request.requester,
             holder=self.cpu_id, requester_ts=request.ts,
@@ -407,7 +465,7 @@ class CacheController:
             # Refuse *and* kill: the requester's transaction restarts
             # before its retry (carried on the request; consumed by
             # handle_nack).
-            request.abort_on_nack = True  # type: ignore[attr-defined]
+            request.abort_on_nack = True
             self.stats.nacks_sent += 1
             return True
         return False  # the incoming request wins; it must be served
@@ -421,16 +479,18 @@ class CacheController:
         if self.obs is not None:
             self.obs.on_nack(self, request)
         self.policy.on_nacked(request)
-        if getattr(request, "abort_on_nack", False):
-            request.abort_on_nack = False  # type: ignore[attr-defined]
+        if request.abort_on_nack:
+            request.abort_on_nack = False
             if self.speculating and mshr.in_txn:
                 self._handle_loss("aborted-by-holder", request.line,
                                   request.ts)
         mshr.ordered = False
         request.order_time = None
+        label = (f"nack-retry {request!r}" if self.sim.verbose_labels
+                 else "nack-retry")
         self.sim.schedule(self.policy.nack_delay(request),
                           self._reissue_after_nack, request,
-                          label=f"nack-retry {request!r}")
+                          label=label)
 
     def _reissue_after_nack(self, request: BusRequest) -> None:
         mshr = self.mshrs.get(request.line)
@@ -447,7 +507,7 @@ class CacheController:
         mshr = self.mshrs.get(request.line)
         if mshr is not None:
             mshr.ordered = True
-        request.grant_state = grant  # type: ignore[attr-defined]
+        request.grant_state = grant
 
     def handle_forward(self, request: BusRequest) -> None:
         """The bus forwarded a request to us: we were the line's
@@ -489,10 +549,11 @@ class CacheController:
             # Figure 3 caption); a non-exclusive block's conflict cannot
             # be masked, so the transaction loses.
             decision = Decision.LOSE
+        label = (f"svc {request!r}" if self.sim.verbose_labels else "svc")
         if decision is Decision.SERVE:
-            self.sim.schedule(self.config.cache.hit_latency,
+            self.sim.schedule(self._hit_latency,
                               self._service_obligation, request,
-                              label=f"svc {request!r}")
+                              label=label)
         elif decision is Decision.DEFER:
             self._defer(request)
         elif decision is Decision.SERVE_ABORT:
@@ -500,14 +561,14 @@ class CacheController:
             # ABORT_REQUESTER policy verdict): it consumes the value
             # outside any speculation the holder must order against.
             self._send_remote_abort(request)
-            self.sim.schedule(self.config.cache.hit_latency,
+            self.sim.schedule(self._hit_latency,
                               self._service_obligation, request,
-                              label=f"svc {request!r}")
+                              label=label)
         else:
             self._handle_loss("conflict-lost", request.line, request.ts)
-            self.sim.schedule(self.config.cache.hit_latency,
+            self.sim.schedule(self._hit_latency,
                               self._service_obligation, request,
-                              label=f"svc {request!r}")
+                              label=label)
 
     def _chain_behind_miss(self, mshr, request: BusRequest) -> None:
         """A request arrived for a line whose fill we still await: record
@@ -553,8 +614,10 @@ class CacheController:
             self.stats.markers_sent += 1
             if self.obs is not None:
                 self.obs.on_marker_sent(self, marker)
+            label = (f"marker {request.line:#x}" if self.sim.verbose_labels
+                     else "marker")
             self.datanet.send_control(target.handle_marker, marker,
-                                      label=f"marker {request.line:#x}")
+                                      label=label)
 
     def _propagate_probe(self, line_addr: int, ts: Timestamp,
                          origin: int) -> None:
@@ -568,9 +631,10 @@ class CacheController:
         """Tell the requester its transaction lost (ABORT_REQUESTER)."""
         target = self.bus.controllers.get(request.requester)
         if target is not None:
+            label = (f"rabort {request.line:#x}" if self.sim.verbose_labels
+                     else "rabort")
             self.datanet.send_control(target.remote_abort, request.line,
-                                      self.current_ts,
-                                      label=f"rabort {request.line:#x}")
+                                      self.current_ts, label=label)
 
     def remote_abort(self, line_addr: int, ts: Optional[Timestamp]) -> None:
         """A holder served our request but killed our speculation."""
@@ -586,8 +650,9 @@ class CacheController:
         probe = Probe(line=line_addr, ts=ts, origin=origin)
         if self.obs is not None:
             self.obs.on_probe_sent(self, probe)
-        self.datanet.send_control(target.handle_probe, probe,
-                                  label=f"probe {line_addr:#x}")
+        label = (f"probe {line_addr:#x}" if self.sim.verbose_labels
+                 else "probe")
+        self.datanet.send_control(target.handle_probe, probe, label=label)
 
     def handle_marker(self, marker: Marker) -> None:
         if self.obs is not None:
@@ -620,7 +685,7 @@ class CacheController:
         if not self.speculating or not self.tlr_enabled:
             return False
         accessed, _ = self._accessed_in_txn(line_addr)
-        if not accessed and line_addr not in self.deferred.lines():
+        if not accessed and not self.deferred.has_line(line_addr):
             # A line we defer requests for is retained for the
             # transaction even if its access bit was swept by an
             # intervening restart.
@@ -683,7 +748,9 @@ class CacheController:
             self.obs.on_data(self, request)
         self.mshrs.release(request.line)
         self.chains.pop(request.line, None)
-        grant = getattr(request, "grant_state", State.SHARED)
+        grant = request.grant_state
+        if grant is None:
+            grant = State.SHARED
         if request.kind is ReqKind.GETX:
             grant = State.MODIFIED
         try:
@@ -702,6 +769,7 @@ class CacheController:
             line.accessed = True
             if request.kind is ReqKind.GETX:
                 line.spec_written = True
+            self._spec_touched[request.line] = line
         if self.monitor is not None:
             self.monitor.on_line_state(self, request.line)
         self._wake_watchers(request.line)
@@ -763,7 +831,7 @@ class CacheController:
             else:
                 line.state = State.OWNED
         if self.mshrs.get(request.line) is None \
-                and request.line not in self.deferred.lines():
+                and not self.deferred.has_line(request.line):
             # Keep the line pinned while further deferred entries for it
             # remain queued, so an eviction cannot race their service.
             self.cache.unpin(request.line)
@@ -783,8 +851,9 @@ class CacheController:
             return
         if self.monitor is not None:
             self.monitor.on_loss(self, reason, line_addr, incoming_ts)
-        for spec_line in self.cache.speculative_lines():
+        for spec_line in self._speculative_lines():
             spec_line.clear_speculative()
+        self._spec_touched.clear()
         self.speculating = False
         self.current_ts = None
         self._service_deferred()

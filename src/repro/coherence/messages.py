@@ -18,7 +18,10 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.coherence.states import State
 
 Timestamp = tuple[int, int]  # (logical clock, cpu id); smaller = older = wins
 
@@ -39,22 +42,28 @@ def beats(challenger: Optional[Timestamp], incumbent: Optional[Timestamp]) -> bo
 
 
 class ReqKind(enum.Enum):
-    """Address-bus transaction kinds."""
+    """Address-bus transaction kinds.
+
+    ``is_write`` is assigned as a plain per-member attribute below rather
+    than a property: it is consulted on every snoop-side conflict check,
+    and a data-descriptor lookup costs a Python call per access.
+    """
 
     GETS = "GETS"    # read, shared copy
     GETX = "GETX"    # read-exclusive, writable copy
     UPG = "UPG"      # upgrade S -> M, no data needed
     WB = "WB"        # writeback of a dirty evicted line
 
-    @property
-    def is_write(self) -> bool:
-        return self in (ReqKind.GETX, ReqKind.UPG)
+
+for _kind in ReqKind:
+    _kind.is_write = _kind in (ReqKind.GETX, ReqKind.UPG)
+del _kind
 
 
 _request_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class BusRequest:
     """One address-bus transaction.
 
@@ -65,6 +74,11 @@ class BusRequest:
     transaction's accumulated contention-manager priority (used only by
     priority-ordered policies such as ``backoff``; always 0 under the
     paper's timestamp policies).
+
+    ``grant_state`` is stamped by the requester's controller when its own
+    request reaches the order point (the state the directory granted);
+    ``abort_on_nack`` rides on a NACKed request when the refusing holder
+    also decided to kill the requester's transaction.
     """
 
     kind: ReqKind
@@ -75,6 +89,8 @@ class BusRequest:
     prio: int = 0
     req_id: int = field(default_factory=lambda: next(_request_ids))
     order_time: Optional[int] = None
+    grant_state: Optional["State"] = None
+    abort_on_nack: bool = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         ts = f" ts={self.ts}" if self.ts is not None else ""
@@ -82,7 +98,7 @@ class BusRequest:
                 f"{ts} #{self.req_id}>")
 
 
-@dataclass
+@dataclass(slots=True)
 class Marker:
     """Directed owner -> requester message (Section 3.1.1).
 
@@ -97,7 +113,7 @@ class Marker:
     req_id: int       # the request being answered with a marker
 
 
-@dataclass
+@dataclass(slots=True)
 class Probe:
     """Directed requester -> upstream message carrying a conflicting
     timestamp toward the node that actually holds the data.

@@ -24,7 +24,7 @@ from typing import Callable, Optional
 from repro.coherence.messages import BusRequest, Timestamp
 
 
-@dataclass
+@dataclass(slots=True)
 class Mshr:
     """One outstanding miss."""
 
@@ -55,8 +55,13 @@ class MshrFile:
     def __init__(self, entries: int = 16):
         self.entries = entries
         self._by_line: dict[int, Mshr] = {}
+        # ``get`` is the hottest MSHR operation (every snoop and every
+        # access probes it); bind the dict's own ``get`` so the call
+        # costs no Python frame.  allocate/release mutate the same dict,
+        # so the binding never goes stale.
+        self.get = self._by_line.get
 
-    def get(self, line: int) -> Optional[Mshr]:
+    def get(self, line: int) -> Optional[Mshr]:  # overridden per-instance
         return self._by_line.get(line)
 
     def allocate(self, request: BusRequest, issue_time: int) -> Mshr:
@@ -77,6 +82,11 @@ class MshrFile:
 
     def __iter__(self):
         return iter(list(self._by_line.values()))
+
+    def entries_view(self):
+        """No-copy iteration for read-only scans (hot paths); callers
+        must not allocate or release MSHRs while iterating."""
+        return self._by_line.values()
 
     def lines(self) -> set[int]:
         return set(self._by_line)

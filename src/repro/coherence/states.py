@@ -5,16 +5,29 @@ snooping protocol.  Each L1 line carries, in addition to its coherence
 state, the *access bit* SLE/TLR use to track data touched within the
 current transaction (one bit per block, paper Figure 5) and a
 speculatively-written bit distinguishing read-set from write-set lines.
+
+The state predicates (``valid``/``owned``/``writable``/``dirty``) are
+assigned as plain per-member attributes after the class body rather than
+properties: they run on every L1 lookup and snoop, and a data-descriptor
+lookup costs a Python call per access.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class State(enum.Enum):
-    """MOESI coherence states."""
+    """MOESI coherence states.
+
+    Member attributes (precomputed below):
+
+    * ``valid`` -- any state but INVALID;
+    * ``owned`` -- this cache is the line's owner (must supply data);
+    * ``writable`` -- a store may complete without a bus transaction;
+    * ``dirty`` -- eviction requires a writeback.
+    """
 
     MODIFIED = "M"
     OWNED = "O"
@@ -22,27 +35,16 @@ class State(enum.Enum):
     SHARED = "S"
     INVALID = "I"
 
-    @property
-    def valid(self) -> bool:
-        return self is not State.INVALID
 
-    @property
-    def owned(self) -> bool:
-        """True when this cache is the line's owner (must supply data)."""
-        return self in (State.MODIFIED, State.OWNED, State.EXCLUSIVE)
-
-    @property
-    def writable(self) -> bool:
-        """True when a store may complete without a bus transaction."""
-        return self in (State.MODIFIED, State.EXCLUSIVE)
-
-    @property
-    def dirty(self) -> bool:
-        """True when eviction requires a writeback."""
-        return self in (State.MODIFIED, State.OWNED)
+for _s in State:
+    _s.valid = _s is not State.INVALID
+    _s.owned = _s in (State.MODIFIED, State.OWNED, State.EXCLUSIVE)
+    _s.writable = _s in (State.MODIFIED, State.EXCLUSIVE)
+    _s.dirty = _s in (State.MODIFIED, State.OWNED)
+del _s
 
 
-@dataclass
+@dataclass(slots=True)
 class Line:
     """One L1 (or victim-cache) line."""
 

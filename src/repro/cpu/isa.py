@@ -25,10 +25,15 @@ WORD_BYTES = 8
 LINE_BYTES = 64
 WORDS_PER_LINE = LINE_BYTES // WORD_BYTES
 
+# line_of runs on every memory operation; a shift beats floor division
+# and is identical for all ints when the divisor is a power of two.
+assert WORDS_PER_LINE & (WORDS_PER_LINE - 1) == 0
+_LINE_SHIFT = WORDS_PER_LINE.bit_length() - 1
+
 
 def line_of(addr: int) -> int:
     """Cache-line index of a word address."""
-    return addr // WORDS_PER_LINE
+    return addr >> _LINE_SHIFT
 
 
 class Op:

@@ -89,6 +89,26 @@ class Processor:
         # Optional metrics collector (repro.obs.MachineMetrics); None in
         # normal runs so restarts pay only an attribute test.
         self.obs = None
+        # Hot-path constants and precomputed event labels (f-string
+        # construction showed up in profiles at one label per event).
+        self._hit_latency = config.cache.hit_latency
+        self._read_esc_threshold = config.spec.read_escalation_threshold
+        self._labels: dict[str, str] = {}
+        self._label_compute = f"cpu{cpu_id}-compute"
+        self._label_restart = f"cpu{cpu_id}-restart"
+        self._label_spinpoll = f"cpu{cpu_id}-spinpoll"
+        # Type-keyed op dispatch instead of an isinstance chain; falls
+        # back to the chain for Op subclasses (see _execute_slow).
+        self._dispatch = {
+            isa.Read: self._do_read,
+            isa.Write: self._do_write,
+            isa.Compute: self._do_compute,
+            isa.LoadLinked: self._do_ll,
+            isa.StoreConditional: self._do_sc,
+            isa.AtomicSwap: self._do_swap,
+            isa.AtomicCas: self._do_cas,
+            isa.Watch: self._do_watch,
+        }
 
     def __repr__(self) -> str:
         state = "done" if self.done else (
@@ -214,6 +234,13 @@ class Processor:
     # Op dispatch
     # ------------------------------------------------------------------
     def _execute(self, op: isa.Op) -> Any:
+        handler = self._dispatch.get(type(op))
+        if handler is not None:
+            return handler(op)
+        return self._execute_slow(op)
+
+    def _execute_slow(self, op: isa.Op) -> Any:
+        """isinstance fallback for Op subclasses not in the type table."""
         if isinstance(op, isa.Read):
             return self._do_read(op)
         if isinstance(op, isa.Write):
@@ -225,9 +252,9 @@ class Processor:
         if isinstance(op, isa.StoreConditional):
             return self._do_sc(op)
         if isinstance(op, isa.AtomicSwap):
-            return self._do_atomic(op, swap=True)
+            return self._do_swap(op)
         if isinstance(op, isa.AtomicCas):
-            return self._do_atomic(op, swap=False)
+            return self._do_cas(op)
         if isinstance(op, isa.Watch):
             return self._do_watch(op)
         raise TypeError(f"unknown operation {op!r}")
@@ -250,14 +277,18 @@ class Processor:
         is epoch-guarded: if a misspeculation squashes the pipeline
         before the event fires, the stale resume is dropped instead of
         injecting its value into the restarted program."""
-        epoch = self.epoch
+        cached = self._labels.get(label)
+        if cached is None:
+            cached = self._labels[label] = f"cpu{self.cpu_id}-{label}"
+        self.sim.schedule(delay, self._epoch_advance, self.epoch, value,
+                          label=cached)
 
-        def go() -> None:
-            if self.epoch != epoch:
-                return
-            self._advance(value)
-
-        self.sim.schedule(delay, go, label=f"cpu{self.cpu_id}-{label}")
+    def _epoch_advance(self, epoch: int, value: Any) -> None:
+        """Scheduled resume body (a bound method, not a per-call closure;
+        this fires once per completed op and showed up in profiles)."""
+        if self.epoch != epoch:
+            return
+        self._advance(value)
 
     def _note_cs_load(self, op) -> None:
         if self.in_cs and op.pc and not op.is_lock:
@@ -272,10 +303,9 @@ class Processor:
         """Read-exclusive prediction (Section 3.1.2)."""
         if op.is_lock:
             return False  # SLE never requests exclusive lock permissions
-        line = isa.line_of(op.addr)
-        threshold = self.config.spec.read_escalation_threshold
         if (self.spec.active
-                and self.controller.upgrade_violations[line] >= threshold):
+                and self.controller.upgrade_violations[isa.line_of(op.addr)]
+                >= self._read_esc_threshold):
             return True
         return self.in_cs and self.rmw.predict_exclusive(op.pc)
 
@@ -286,17 +316,23 @@ class Processor:
         if self.spec.active:
             buffered = self.write_buffer.read(op.addr)
             if buffered is not None:
-                self._debt += self.config.cache.hit_latency
+                self._debt += self._hit_latency
                 return buffered
         line = isa.line_of(op.addr)
-        issue_time = self.sim.now
-        epoch = self.epoch
         want_x = self._want_exclusive(op)
         # A read the predictor fetched exclusive belongs to the write set:
         # letting another reader demote the line mid-transaction would
         # force the predicted store into an upgrade (and, if we are also
         # deferring that reader's chain, a self-deadlock).
         as_written = want_x and self.spec.active
+        if self.controller.try_hit(line, want_x):
+            value = self._arch_read(op.addr)
+            self.controller.mark_accessed(line, written=as_written)
+            self._note_cs_load(op)
+            self._debt += self._hit_latency
+            return value
+        issue_time = self.sim.now
+        epoch = self.epoch
 
         def effect() -> None:
             if self.epoch != epoch:
@@ -315,7 +351,7 @@ class Processor:
             value = self._arch_read(op.addr)
             self.controller.mark_accessed(line, written=as_written)
             self._note_cs_load(op)
-            self._debt += self.config.cache.hit_latency
+            self._debt += self._hit_latency
             return value
         return _PENDING
 
@@ -325,7 +361,7 @@ class Processor:
         self.stats.ops_completed += 1
         epoch_before = self.epoch
         if self.spec.absorbs_release(op):
-            self._debt += self.config.cache.hit_latency
+            self._debt += self._hit_latency
             return None
         if self.epoch != epoch_before:
             # Absorption killed the speculation (non-silent store pair):
@@ -333,6 +369,11 @@ class Processor:
             # restart is already scheduled.
             return _PENDING
         line = isa.line_of(op.addr)
+        if self.controller.try_hit(line, True):
+            if not self._apply_store(op):
+                return _PENDING
+            self._debt += self._hit_latency
+            return None
         issue_time = self.sim.now
         epoch = self.epoch
 
@@ -350,7 +391,7 @@ class Processor:
         if hit:
             if not self._apply_store(op):
                 return _PENDING
-            self._debt += self.config.cache.hit_latency
+            self._debt += self._hit_latency
             return None
         return _PENDING
 
@@ -375,38 +416,33 @@ class Processor:
         self.stats.ops_completed += 1
         cycles = max(1, op.cycles + self._debt)
         self._debt = 0
-        epoch = self.epoch
-
-        def resume() -> None:
-            self._pending_timer = None
-            if self.epoch != epoch:
-                return
-            self._advance(None)
-
         self._pending_timer = self.sim.schedule(
-            cycles, resume, label=f"cpu{self.cpu_id}-compute")
+            cycles, self._compute_resume, self.epoch,
+            label=self._label_compute)
         return _PENDING
+
+    def _compute_resume(self, epoch: int) -> None:
+        self._pending_timer = None
+        if self.epoch != epoch:
+            return
+        self._advance(None)
 
     # -- LL/SC ------------------------------------------------------
     def _do_ll(self, op: isa.LoadLinked) -> Any:
         self.stats.loads += 1
         self.stats.ops_completed += 1
         line = isa.line_of(op.addr)
+        if self.controller.try_hit(line, False):
+            value = self._ll_apply(op, line)
+            self._debt += self._hit_latency
+            return value
         issue_time = self.sim.now
         epoch = self.epoch
-
-        def finish_ll() -> int:
-            value = self._arch_read(op.addr)
-            self.controller.set_link(line)
-            self._last_ll = (op.addr, value)
-            if self.spec.active:
-                self.controller.mark_accessed(line, written=False)
-            return value
 
         def effect() -> None:
             if self.epoch != epoch:
                 return
-            value = finish_ll()
+            value = self._ll_apply(op, line)
             self._charge_wait(issue_time, op.is_lock)
             self._resume_later(value)
 
@@ -414,17 +450,26 @@ class Processor:
                                      is_lock=op.is_lock,
                                      still_wanted=lambda: self.epoch == epoch)
         if hit:
-            value = finish_ll()
-            self._debt += self.config.cache.hit_latency
+            value = self._ll_apply(op, line)
+            self._debt += self._hit_latency
             return value
         return _PENDING
+
+    def _ll_apply(self, op: isa.LoadLinked, line: int) -> int:
+        """LL's architectural effect (shared by the hit and fill paths)."""
+        value = self._arch_read(op.addr)
+        self.controller.set_link(line)
+        self._last_ll = (op.addr, value)
+        if self.spec.active:
+            self.controller.mark_accessed(line, written=False)
+        return value
 
     def _do_sc(self, op: isa.StoreConditional) -> Any:
         self.stats.stores += 1
         self.stats.ops_completed += 1
         line = isa.line_of(op.addr)
         if not self.controller.link_valid(line):
-            self._debt += self.config.cache.hit_latency
+            self._debt += self._hit_latency
             return False
         ll_addr, ll_value = self._last_ll
         if ll_addr == op.addr and self.spec.try_elide(
@@ -432,29 +477,19 @@ class Processor:
             # Elided: the lock line stays shared; mark it accessed so any
             # external write to the lock kills the speculation.
             self.controller.mark_accessed(line, written=False)
-            self._debt += self.config.cache.hit_latency
+            self._debt += self._hit_latency
             return True
+        if self.controller.try_hit(line, True):
+            success = self._sc_apply(op, line)
+            self._debt += self._hit_latency
+            return success
         issue_time = self.sim.now
         epoch = self.epoch
-
-        def finish_sc() -> bool:
-            if not self.controller.link_valid(line):
-                return False
-            if self.spec.active:
-                try:
-                    self.write_buffer.write(op.addr, op.value)
-                except WriteBufferOverflow:
-                    self.resource_fallback("wb-overflow")
-                    return False
-                self.controller.mark_accessed(line, written=True)
-            else:
-                self.store.write(op.addr, op.value)
-            return True
 
         def effect() -> None:
             if self.epoch != epoch:
                 return
-            success = finish_sc()
+            success = self._sc_apply(op, line)
             self._charge_wait(issue_time, op.is_lock)
             self._resume_later(success)
 
@@ -462,37 +497,48 @@ class Processor:
                                      is_lock=op.is_lock,
                                      still_wanted=lambda: self.epoch == epoch)
         if hit:
-            success = finish_sc()
-            self._debt += self.config.cache.hit_latency
+            success = self._sc_apply(op, line)
+            self._debt += self._hit_latency
             return success
         return _PENDING
 
+    def _sc_apply(self, op: isa.StoreConditional, line: int) -> bool:
+        """SC's architectural effect (shared by the hit and fill paths)."""
+        if not self.controller.link_valid(line):
+            return False
+        if self.spec.active:
+            try:
+                self.write_buffer.write(op.addr, op.value)
+            except WriteBufferOverflow:
+                self.resource_fallback("wb-overflow")
+                return False
+            self.controller.mark_accessed(line, written=True)
+        else:
+            self.store.write(op.addr, op.value)
+        return True
+
     # -- atomics ------------------------------------------------------
+    def _do_swap(self, op: isa.AtomicSwap) -> Any:
+        return self._do_atomic(op, swap=True)
+
+    def _do_cas(self, op: isa.AtomicCas) -> Any:
+        return self._do_atomic(op, swap=False)
+
     def _do_atomic(self, op, swap: bool) -> Any:
         self.stats.stores += 1
         self.stats.ops_completed += 1
         line = isa.line_of(op.addr)
+        if self.controller.try_hit(line, True):
+            old = self._atomic_apply(op, line, swap)
+            self._debt += self._hit_latency
+            return old
         issue_time = self.sim.now
         epoch = self.epoch
-
-        def apply() -> int:
-            old = self._arch_read(op.addr)
-            new = op.value if swap else (
-                op.new if old == op.expect else None)
-            if new is not None:
-                if self.spec.active:
-                    self.write_buffer.write(op.addr, new)
-                    self.controller.mark_accessed(line, written=True)
-                else:
-                    self.store.write(op.addr, new)
-            elif self.spec.active:
-                self.controller.mark_accessed(line, written=True)
-            return old
 
         def effect() -> None:
             if self.epoch != epoch:
                 return
-            old = apply()
+            old = self._atomic_apply(op, line, swap)
             self._charge_wait(issue_time, op.is_lock)
             self._resume_later(old)
 
@@ -500,10 +546,25 @@ class Processor:
                                      is_lock=op.is_lock,
                                      still_wanted=lambda: self.epoch == epoch)
         if hit:
-            old = apply()
-            self._debt += self.config.cache.hit_latency
+            old = self._atomic_apply(op, line, swap)
+            self._debt += self._hit_latency
             return old
         return _PENDING
+
+    def _atomic_apply(self, op, line: int, swap: bool) -> int:
+        """Swap/CAS architectural effect (hit and fill paths)."""
+        old = self._arch_read(op.addr)
+        new = op.value if swap else (
+            op.new if old == op.expect else None)
+        if new is not None:
+            if self.spec.active:
+                self.write_buffer.write(op.addr, new)
+                self.controller.mark_accessed(line, written=True)
+            else:
+                self.store.write(op.addr, new)
+        elif self.spec.active:
+            self.controller.mark_accessed(line, written=True)
+        return old
 
     # -- spin-wait ----------------------------------------------------
     def _do_watch(self, op: isa.Watch) -> Any:
@@ -531,7 +592,7 @@ class Processor:
                 wake()
             else:
                 self.sim.schedule(_WATCH_BACKUP_POLL, backup_poll,
-                                  label=f"cpu{self.cpu_id}-spinpoll")
+                                  label=self._label_spinpoll)
 
         if expect is not None and self.store.read(op.addr) != expect:
             # The value already changed between the read and the watch.
@@ -539,7 +600,7 @@ class Processor:
             return None
         self.controller.watch(line, wake)
         self.sim.schedule(_WATCH_BACKUP_POLL, backup_poll,
-                          label=f"cpu{self.cpu_id}-spinpoll")
+                          label=self._label_spinpoll)
         return _PENDING
 
     # ------------------------------------------------------------------
@@ -603,4 +664,4 @@ class Processor:
         if self.obs is not None:
             self.obs.on_restart(self, reason, backoff, self._restart_streak)
         self.sim.schedule(backoff, self._advance, None, signal,
-                          label=f"cpu{self.cpu_id}-restart")
+                          label=self._label_restart)

@@ -11,6 +11,15 @@ Only *successful* runs are cached: a livelocked or timed-out run may
 succeed under a larger wall-clock ``timeout``, which is deliberately
 not part of the fingerprint.
 
+Entries live under a per-schema-version directory
+(``<root>/v<FINGERPRINT_VERSION>/<fp[:2]>/<fp>.json``): bumping
+:data:`~repro.harness.spec.FINGERPRINT_VERSION` changes every
+fingerprint, so files written under an older version can never be hit
+again and would otherwise accumulate forever.  :meth:`ResultCache.prune`
+removes them; the first miss of a cache instance also prunes once, so
+long-lived cache directories stay clean without anyone running the
+command (``repro cache --prune``) by hand.
+
 Entries are written atomically (temp file + rename) so concurrent
 sweeps sharing a cache directory never observe torn JSON; unreadable
 or stale-schema entries are treated as misses and dropped.
@@ -20,9 +29,12 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import tempfile
 from pathlib import Path
 from typing import Optional, Union
+
+from repro.harness.spec import FINGERPRINT_VERSION
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
@@ -40,17 +52,21 @@ class ResultCache:
 
     def __init__(self, root: Union[str, Path, None] = None):
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.version_dir = self.root / f"v{FINGERPRINT_VERSION}"
         self.hits = 0
         self.misses = 0
+        self._pruned = False
 
     def _path(self, fingerprint: str) -> Path:
         # Two-level fan-out keeps directories small on big sweeps.
-        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+        return self.version_dir / fingerprint[:2] / f"{fingerprint}.json"
 
     def get(self, fingerprint: str) -> Optional[dict]:
         """The cached payload for ``fingerprint``, or ``None``.
 
         A corrupt or undecodable entry counts as a miss and is removed.
+        The first miss also prunes superseded-version entries once per
+        cache instance (cheap when there is nothing to do).
         """
         path = self._path(fingerprint)
         try:
@@ -58,6 +74,7 @@ class ResultCache:
                 payload = json.load(fh)
         except FileNotFoundError:
             self.misses += 1
+            self._prune_once()
             return None
         except (OSError, json.JSONDecodeError):
             self.misses += 1
@@ -90,12 +107,37 @@ class ResultCache:
         except OSError:
             return False
 
-    def clear(self) -> int:
-        """Remove every entry; returns the number removed."""
+    def _prune_once(self) -> None:
+        if not self._pruned:
+            self._pruned = True
+            self.prune()
+
+    def prune(self) -> int:
+        """Remove entries that can never be hit again: files under
+        superseded ``v<N>`` directories and entries from the original
+        unversioned layout (``<root>/<xx>/<fp>.json``).  Returns the
+        number of entry files removed."""
         removed = 0
         if not self.root.is_dir():
             return 0
-        for path in self.root.glob("*/*.json"):
+        for child in list(self.root.iterdir()):
+            if child == self.version_dir or not child.is_dir():
+                continue
+            stale = (child.name.startswith("v")
+                     or len(child.name) == 2)  # pre-versioning fan-out
+            if not stale:
+                continue
+            removed += sum(1 for _ in child.rglob("*.json"))
+            shutil.rmtree(child, ignore_errors=True)
+        return removed
+
+    def clear(self) -> int:
+        """Remove every entry (all schema versions); returns the number
+        removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in self.root.rglob("*.json"):
             try:
                 path.unlink()
                 removed += 1
@@ -104,9 +146,10 @@ class ResultCache:
         return removed
 
     def __len__(self) -> int:
-        if not self.root.is_dir():
+        """Entries usable under the current fingerprint schema."""
+        if not self.version_dir.is_dir():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self.version_dir.glob("*/*.json"))
 
 
 def resolve_cache(cache) -> Optional[ResultCache]:

@@ -93,8 +93,8 @@ class Machine:
 
     def _deliver_data(self, request, from_node: int) -> None:
         target = self.controllers[request.requester]
-        self.datanet.send(target.handle_data, request,
-                          label=f"data {request!r}")
+        label = f"data {request!r}" if self.sim.verbose_labels else "data"
+        self.datanet.send(target.handle_data, request, label=label)
 
     # ------------------------------------------------------------------
     # Running workloads

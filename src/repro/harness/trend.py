@@ -31,8 +31,8 @@ ARTIFACT_PREFIX = "BENCH_"
 #: Top-level artifact keys that are not comparable results.
 _SKIP_TOP_LEVEL = {"bench", "config", "wall_seconds"}
 
-LOWER_IS_BETTER = ("cycles", "slowdown")
-HIGHER_IS_BETTER = ("speedup",)
+LOWER_IS_BETTER = ("cycles", "slowdown", "wall_s")
+HIGHER_IS_BETTER = ("speedup", "events_per_sec")
 
 
 class TrendError(RuntimeError):
@@ -289,3 +289,100 @@ def trend_report(against: str, artifacts_dir: Union[str, Path] = ".",
             f"{artifacts_dir} nor at {against}")
     return compare(base, current, threshold=threshold,
                    base_label=str(against), current_label="working tree")
+
+
+# ----------------------------------------------------------------------
+# Multi-commit history
+# ----------------------------------------------------------------------
+@dataclass
+class HistoryReport:
+    """Per-metric value series across a window of commits.
+
+    ``refs`` are the compared points oldest-first (``HEAD~N`` ..
+    ``HEAD``, then the working tree); ``series`` maps
+    ``(artifact, metric path)`` to one value per ref (``None`` where
+    the metric or artifact is absent at that point).
+    """
+
+    refs: list[str] = field(default_factory=list)
+    series: dict[tuple[str, str], list[Optional[float]]] = \
+        field(default_factory=dict)
+
+    def changed(self) -> dict[tuple[str, str], list[Optional[float]]]:
+        """Only the series whose present values are not all equal."""
+        out = {}
+        for key, values in self.series.items():
+            present = [v for v in values if v is not None]
+            if present and any(v != present[0] for v in present):
+                out[key] = values
+        return out
+
+    def to_dict(self, changed_only: bool = True) -> dict:
+        series = self.changed() if changed_only else self.series
+        return {
+            "refs": list(self.refs),
+            "series": [{"artifact": artifact, "path": path,
+                        "values": values, "direction": direction_of(path)}
+                       for (artifact, path), values
+                       in sorted(series.items())],
+        }
+
+    def to_markdown(self, changed_only: bool = True,
+                    limit: int = 60) -> str:
+        series = self.changed() if changed_only else self.series
+        lines = [f"# BENCH history: {self.refs[0]} -> {self.refs[-1]}"
+                 if self.refs else "# BENCH history", ""]
+        lines.append(f"{len(series)} changing metric(s) across "
+                     f"{len(self.refs)} points"
+                     + ("" if changed_only
+                        else f" ({len(self.series)} total)") + ".")
+        lines.append("")
+        if not series:
+            lines.append("_no metric moved in this window_")
+            return "\n".join(lines)
+        header = "| artifact | metric | " + " | ".join(self.refs) + " |"
+        lines.append(header)
+        lines.append("|---|---|" + "---:|" * len(self.refs))
+
+        def fmt(value: Optional[float]) -> str:
+            return "-" if value is None else f"{value:g}"
+
+        for (artifact, path), values in sorted(series.items())[:limit]:
+            lines.append(f"| {artifact} | `{path}` | "
+                         + " | ".join(fmt(v) for v in values) + " |")
+        if len(series) > limit:
+            lines.append(f"| ... | {len(series) - limit} more | "
+                         + " | ".join("" for _ in self.refs) + " |")
+        return "\n".join(lines)
+
+
+def history_report(count: int, artifacts_dir: Union[str, Path] = ".",
+                   repo: Union[str, Path, None] = None) -> HistoryReport:
+    """Metric series over ``HEAD~count`` .. ``HEAD`` plus the working
+    tree, reusing the ``git show`` loader per ref.  Refs that do not
+    exist (history shorter than ``count``) are skipped silently so
+    shallow repos still get a partial window."""
+    if count < 1:
+        raise TrendError(f"history window must be >= 1, got {count}")
+    repo = repo if repo is not None else artifacts_dir
+    points: list[tuple[str, dict[str, dict]]] = []
+    for back in range(count, 0, -1):
+        ref = f"HEAD~{back}"
+        try:
+            points.append((ref, load_git_ref(ref, repo=repo)))
+        except TrendError:
+            continue
+    points.append(("HEAD", load_git_ref("HEAD", repo=repo)))
+    points.append(("worktree", load_dir(artifacts_dir)))
+    report = HistoryReport(refs=[ref for ref, _ in points])
+    flat_points = [{name: flatten_results(payload)
+                    for name, payload in artifacts.items()}
+                   for _, artifacts in points]
+    keys = {(name, path)
+            for flat in flat_points
+            for name, metrics in flat.items()
+            for path in metrics}
+    for name, path in sorted(keys):
+        report.series[(name, path)] = [
+            flat.get(name, {}).get(path) for flat in flat_points]
+    return report

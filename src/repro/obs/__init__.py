@@ -18,10 +18,12 @@ reproduction carries a first-class observability layer:
 """
 
 from repro.obs.metrics import (DEPTH_BUCKETS, LATENCY_BUCKETS, RETRY_BUCKETS,
-                               Histogram, MetricsRegistry, summarize_metrics)
+                               Histogram, MetricsRegistry,
+                               openmetrics_from_dict, summarize_metrics)
 from repro.obs.collect import MachineMetrics
 
 __all__ = [
     "DEPTH_BUCKETS", "LATENCY_BUCKETS", "RETRY_BUCKETS",
-    "Histogram", "MetricsRegistry", "MachineMetrics", "summarize_metrics",
+    "Histogram", "MetricsRegistry", "MachineMetrics",
+    "openmetrics_from_dict", "summarize_metrics",
 ]

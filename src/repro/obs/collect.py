@@ -47,6 +47,31 @@ class MachineMetrics:
         self._nack_retries: TallyCounter = TallyCounter()  # req_id -> nacks
         self._marker_open: dict[int, list[int]] = {}  # req_id -> send times
         self._probe_open: dict[tuple, list[int]] = {}  # (line,ts,origin)
+        # The hook-path instruments, resolved once: per-event
+        # get-or-create registry lookups were visible in profiles.
+        reg = self.registry
+        self._requests_issued = reg.counter("requests.issued")
+        self._defer_count = reg.counter("defer.count")
+        self._defer_depth_hist = reg.histogram("defer.queue_depth",
+                                               DEPTH_BUCKETS)
+        self._defer_depth_gauge = reg.gauge("defer.queue_depth")
+        self._defer_serviced = reg.counter("defer.serviced")
+        self._defer_latency = reg.histogram("defer.latency", LATENCY_BUCKETS)
+        self._nack_received = reg.counter("nack.received")
+        self._miss_latency = reg.histogram("miss.latency", LATENCY_BUCKETS)
+        self._nack_retries_hist = reg.histogram("nack.retries_per_request",
+                                                RETRY_BUCKETS)
+        self._marker_sent = reg.counter("marker.sent")
+        self._marker_received = reg.counter("marker.received")
+        self._marker_latency = reg.histogram("marker.latency",
+                                             LATENCY_BUCKETS)
+        self._probe_sent = reg.counter("probe.sent")
+        self._probe_received = reg.counter("probe.received")
+        self._probe_latency = reg.histogram("probe.latency", LATENCY_BUCKETS)
+        self._restart_count = reg.counter("restart.count")
+        self._restart_backoff = reg.histogram("restart.backoff",
+                                              LATENCY_BUCKETS)
+        self._restart_streak = reg.histogram("restart.streak", RETRY_BUCKETS)
 
     def attach(self, machine: "Machine") -> "MachineMetrics":
         """Point every controller and processor at this collector.
@@ -65,30 +90,28 @@ class MachineMetrics:
                           request: "BusRequest") -> None:
         """A miss left for the bus (first issue; NACK reissues keep the
         original start so miss.latency covers the whole retry loop)."""
-        self.registry.counter("requests.issued").inc()
+        self._requests_issued.inc()
         self._miss_open.setdefault(request.req_id, controller.sim.now)
 
     def on_defer(self, controller: "CacheController",
                  request: "BusRequest") -> None:
         depth = len(controller.deferred)
-        self.registry.counter("defer.count").inc()
-        self.registry.histogram("defer.queue_depth",
-                                DEPTH_BUCKETS).observe(depth)
-        self.registry.gauge("defer.queue_depth").set(depth)
+        self._defer_count.inc()
+        self._defer_depth_hist.observe(depth)
+        self._defer_depth_gauge.set(depth)
         self._defer_open.setdefault(request.req_id, controller.sim.now)
 
     def on_obligation_serviced(self, controller: "CacheController",
                                request: "BusRequest") -> None:
         started = self._defer_open.pop(request.req_id, None)
         if started is not None:
-            self.registry.counter("defer.serviced").inc()
-            self.registry.histogram("defer.latency", LATENCY_BUCKETS) \
-                .observe(controller.sim.now - started)
+            self._defer_serviced.inc()
+            self._defer_latency.observe(controller.sim.now - started)
 
     def on_nack(self, controller: "CacheController",
                 request: "BusRequest") -> None:
         """Our own request came back refused (requester side)."""
-        self.registry.counter("nack.received").inc()
+        self._nack_received.inc()
         self._nack_retries[request.req_id] += 1
 
     def on_data(self, controller: "CacheController",
@@ -96,14 +119,13 @@ class MachineMetrics:
         """The fill arrived: close the miss and its retry tally."""
         issued = self._miss_open.pop(request.req_id, None)
         if issued is not None:
-            self.registry.histogram("miss.latency", LATENCY_BUCKETS) \
-                .observe(controller.sim.now - issued)
-        self.registry.histogram("nack.retries_per_request", RETRY_BUCKETS) \
-            .observe(self._nack_retries.pop(request.req_id, 0))
+            self._miss_latency.observe(controller.sim.now - issued)
+        self._nack_retries_hist.observe(
+            self._nack_retries.pop(request.req_id, 0))
 
     def on_marker_sent(self, controller: "CacheController",
                        marker: "Marker") -> None:
-        self.registry.counter("marker.sent").inc()
+        self._marker_sent.inc()
         self._marker_open.setdefault(marker.req_id, []) \
             .append(controller.sim.now)
 
@@ -111,13 +133,12 @@ class MachineMetrics:
                   marker: "Marker") -> None:
         sends = self._marker_open.get(marker.req_id)
         if sends:
-            self.registry.counter("marker.received").inc()
-            self.registry.histogram("marker.latency", LATENCY_BUCKETS) \
-                .observe(controller.sim.now - sends.pop(0))
+            self._marker_received.inc()
+            self._marker_latency.observe(controller.sim.now - sends.pop(0))
 
     def on_probe_sent(self, controller: "CacheController",
                       probe: "Probe") -> None:
-        self.registry.counter("probe.sent").inc()
+        self._probe_sent.inc()
         self._probe_open.setdefault((probe.line, probe.ts, probe.origin),
                                     []).append(controller.sim.now)
 
@@ -125,9 +146,8 @@ class MachineMetrics:
                  probe: "Probe") -> None:
         sends = self._probe_open.get((probe.line, probe.ts, probe.origin))
         if sends:
-            self.registry.counter("probe.received").inc()
-            self.registry.histogram("probe.latency", LATENCY_BUCKETS) \
-                .observe(controller.sim.now - sends.pop(0))
+            self._probe_received.inc()
+            self._probe_latency.observe(controller.sim.now - sends.pop(0))
 
     # ------------------------------------------------------------------
     # Processor hook
@@ -136,11 +156,9 @@ class MachineMetrics:
                    backoff: int, streak: int) -> None:
         """A speculation died and its restart was paced ``backoff``
         cycles out after ``streak`` consecutive losses."""
-        self.registry.counter("restart.count").inc()
-        self.registry.histogram("restart.backoff", LATENCY_BUCKETS) \
-            .observe(backoff)
-        self.registry.histogram("restart.streak", RETRY_BUCKETS) \
-            .observe(streak)
+        self._restart_count.inc()
+        self._restart_backoff.observe(backoff)
+        self._restart_streak.observe(streak)
 
     # ------------------------------------------------------------------
     # Export

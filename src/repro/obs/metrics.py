@@ -159,6 +159,58 @@ class MetricsRegistry:
                            for name, h in sorted(self.histograms.items())},
         }
 
+    def to_openmetrics(self) -> str:
+        """The registry in OpenMetrics text exposition format."""
+        return openmetrics_from_dict(self.to_dict())
+
+
+def _om_name(name: str) -> str:
+    """Dotted metric names to OpenMetrics-legal snake names."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def openmetrics_from_dict(payload: Optional[dict]) -> str:
+    """Render a :meth:`MetricsRegistry.to_dict` export (or a
+    :meth:`~repro.obs.collect.MachineMetrics.finalize` payload, which
+    adds a ``meta`` section) as OpenMetrics text exposition format:
+    ``# TYPE`` headers, ``_total`` counter samples, cumulative
+    ``_bucket{le=...}`` histogram series and a final ``# EOF``.
+
+    The same dict that lands in ``RunResult.metrics`` (and the result
+    cache) renders identically, so cached runs can be re-exported
+    without re-simulating.
+    """
+    lines: list[str] = []
+    payload = payload or {}
+    meta = payload.get("meta") or {}
+    if meta:
+        labels = ",".join(f'{_om_name(str(key))}="{value}"'
+                          for key, value in sorted(meta.items()))
+        lines.append("# TYPE target info")
+        lines.append(f"target_info{{{labels}}} 1")
+    for name, value in sorted((payload.get("counters") or {}).items()):
+        om = _om_name(name)
+        lines.append(f"# TYPE {om} counter")
+        lines.append(f"{om}_total {value}")
+    for name, gauge in sorted((payload.get("gauges") or {}).items()):
+        om = _om_name(name)
+        lines.append(f"# TYPE {om} gauge")
+        lines.append(f"{om} {gauge['value']}")
+        lines.append(f"# TYPE {om}_max gauge")
+        lines.append(f"{om}_max {gauge['max']}")
+    for name, hist in sorted((payload.get("histograms") or {}).items()):
+        om = _om_name(name)
+        lines.append(f"# TYPE {om} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["buckets"], hist["counts"]):
+            cumulative += count
+            lines.append(f'{om}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f'{om}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{om}_sum {hist['sum']}")
+        lines.append(f"{om}_count {hist['count']}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
 
 def summarize_metrics(metrics: Optional[dict]) -> dict:
     """Flatten a :meth:`MetricsRegistry.to_dict` export into a compact

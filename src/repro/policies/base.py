@@ -49,7 +49,7 @@ class PolicyDecision(enum.Enum):
     ABORT_HOLDER = "abort-holder"        # the local transaction loses
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConflictContext:
     """One conflict, as seen by the transaction *holding* the data."""
 

@@ -12,12 +12,32 @@ orders callbacks.  Determinism matters for reproducibility: events scheduled
 for the same cycle fire in scheduling order (a monotonically increasing
 sequence number breaks ties), so a given seed always replays the exact same
 interleaving.
+
+Every experiment bottoms out in this loop, so it is also the hot path of
+the whole reproduction.  Three allocation-level optimizations keep it
+cheap without changing any observable ordering:
+
+* **Event recycling.**  Fired (and reaped-cancelled) events go onto a
+  free list and are reinitialized by the next :meth:`Simulator.schedule`
+  instead of allocating a fresh object per event.
+* **Lazy-cancel compaction.**  :meth:`Event.cancel` only marks the event
+  dead; when dead events exceed both an absolute floor and half the heap,
+  the queue is rebuilt without them.  (time, prio, seq) keys are unique,
+  so re-heapifying cannot change pop order.
+* **Hoisted hooks.**  The per-event trace check and heap accessors are
+  bound once per :meth:`Simulator.run` call, and ``verbose_labels`` tells
+  callers whether anyone (tracer or choice hook) will ever look at an
+  event label, letting hot call sites skip f-string construction.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, Optional
+
+# Lazy-cancel compaction fires when at least this many dead events are
+# queued *and* they outnumber half the heap.
+COMPACT_DEAD_MIN = 64
 
 
 class SimulationError(Exception):
@@ -44,9 +64,17 @@ class Event:
 
     ``prio`` orders events within a cycle ahead of the sequence number;
     it is 0 (pure FIFO) unless a schedule choice hook is installed.
+
+    **Handle lifetime:** the kernel recycles Event objects through a free
+    list, so a handle returned by :meth:`Simulator.schedule` is only valid
+    until the event fires or is reaped.  Holders that may outlive their
+    event must drop the reference once it has fired (the pattern used for
+    pending-timer handles: the firing callback nulls the holder's field
+    before anything else runs).
     """
 
-    __slots__ = ("time", "prio", "seq", "fn", "args", "alive", "label")
+    __slots__ = ("time", "prio", "seq", "fn", "args", "alive", "label",
+                 "sim")
 
     def __init__(self, time: int, seq: int, fn: Callable[..., None],
                  args: tuple, label: str = "", prio: int = 0):
@@ -57,14 +85,22 @@ class Event:
         self.args = args
         self.alive = True
         self.label = label
+        self.sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
-        self.alive = False
+        if self.alive:
+            self.alive = False
+            sim = self.sim
+            if sim is not None:
+                sim._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.prio, self.seq) < \
-            (other.time, other.prio, other.seq)
+        if self.time != other.time:
+            return self.time < other.time
+        if self.prio != other.prio:
+            return self.prio < other.prio
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "" if self.alive else " (cancelled)"
@@ -84,17 +120,35 @@ class Simulator:
     Actors (typically processors) may register completion predicates via
     :meth:`add_actor`; :meth:`run` uses them to distinguish a clean finish
     from a deadlock.
+
+    ``recycle_events`` and ``compact_dead_min`` expose the allocation
+    optimizations for testing; both defaults are observationally pure
+    (identical event order) and there is no reason to change them outside
+    the kernel's own test suite.
     """
 
-    def __init__(self, max_cycles: Optional[int] = None):
-        self._queue: list[Event] = []
+    def __init__(self, max_cycles: Optional[int] = None, *,
+                 recycle_events: bool = True,
+                 compact_dead_min: Optional[int] = COMPACT_DEAD_MIN):
+        #: Heap of ``(time, prio, seq, event)`` entries: the key tuple
+        #: is compared natively by heapq (no Python-level ``__lt__``
+        #: per sift step), and seq uniqueness means the Event itself is
+        #: never reached by a comparison.
+        self._queue: list[tuple[int, int, int, Event]] = []
         self._now = 0
         self._seq = 0
         self._events_fired = 0
         self.max_cycles = max_cycles
         self._actors: list[Any] = []
-        self.trace: Optional[Callable[[int, str], None]] = None
         self._choice: Optional[Callable[[str], int]] = None
+        self._trace: Optional[Callable[[int, str], None]] = None
+        #: True when a tracer or choice hook may read event labels; hot
+        #: call sites consult this to skip building descriptive labels.
+        self.verbose_labels = False
+        self._free: list[Event] = []
+        self._recycle = recycle_events
+        self._compact_dead_min = compact_dead_min
+        self._dead = 0
 
     # ------------------------------------------------------------------
     # Clock and scheduling
@@ -109,21 +163,51 @@ class Simulator:
         """Total number of events executed so far (for reporting)."""
         return self._events_fired
 
+    @property
+    def trace(self) -> Optional[Callable[[int, str], None]]:
+        """Raw per-event debug hook ``fn(cycle, label)``.
+
+        Installing it (or a choice hook) flips :attr:`verbose_labels` so
+        call sites start producing descriptive labels.  The hook binding
+        is sampled at each :meth:`run` call, not per event.
+        """
+        return self._trace
+
+    @trace.setter
+    def trace(self, fn: Optional[Callable[[int, str], None]]) -> None:
+        self._trace = fn
+        self.verbose_labels = (self._trace is not None
+                               or self._choice is not None)
+
     def schedule(self, delay: int, fn: Callable[..., None], *args: Any,
                  label: str = "") -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` cycles from now.
 
-        Returns the :class:`Event`, which the caller may cancel.  Delays
-        must be non-negative; a zero delay runs after all events already
-        scheduled for the current cycle (FIFO within a cycle).
+        Returns the :class:`Event`, which the caller may cancel (the
+        handle is valid until the event fires; see :class:`Event`).
+        Delays must be non-negative; a zero delay runs after all events
+        already scheduled for the current cycle (FIFO within a cycle).
         """
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         self._seq += 1
-        prio = self._choice(label) if self._choice is not None else 0
-        event = Event(self._now + delay, self._seq, fn, args, label,
-                      prio=prio)
-        heapq.heappush(self._queue, event)
+        choice = self._choice
+        prio = choice(label) if choice is not None else 0
+        time = self._now + delay
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.prio = prio
+            event.seq = self._seq
+            event.fn = fn
+            event.args = args
+            event.alive = True
+            event.label = label
+        else:
+            event = Event(time, self._seq, fn, args, label, prio=prio)
+            event.sim = self
+        heapq.heappush(self._queue, (time, prio, self._seq, event))
         return event
 
     def set_choice_hook(self,
@@ -139,6 +223,31 @@ class Simulator:
         different but fully reproducible legal ordering.
         """
         self._choice = fn
+        self.verbose_labels = (self._trace is not None
+                               or self._choice is not None)
+
+    # ------------------------------------------------------------------
+    # Lazy-cancel compaction
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._dead += 1
+        threshold = self._compact_dead_min
+        if (threshold is not None and self._dead >= threshold
+                and 2 * self._dead >= len(self._queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without dead events.
+
+        Heap pop order depends only on the (time, prio, seq) keys, which
+        are unique per event, so re-heapifying the survivors yields the
+        exact same firing sequence.  Compacted-away events are *not*
+        recycled: their handles were cancelled externally and may still
+        be held.
+        """
+        self._queue = [entry for entry in self._queue if entry[3].alive]
+        heapq.heapify(self._queue)
+        self._dead = 0
 
     # ------------------------------------------------------------------
     # Actors and completion
@@ -173,26 +282,50 @@ class Simulator:
         limit = self.max_cycles
         if until is not None:
             limit = until if limit is None else min(limit, until)
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if not event.alive:
-                continue
-            if limit is not None and event.time > limit:
-                # Push it back: the caller may resume later.
-                heapq.heappush(self._queue, event)
-                self._now = limit
-                if until is not None and (self.max_cycles is None
-                                          or until <= self.max_cycles):
-                    return self._now
-                raise SimulationError(
-                    f"cycle budget exhausted at {limit} cycles with "
-                    f"{len(self._queue)} pending events; "
-                    f"blocked actors: {self._incomplete_actors()!r}")
-            self._now = event.time
-            self._events_fired += 1
-            if self.trace is not None:  # pragma: no cover - debug hook
-                self.trace(self._now, event.label)
-            event.fn(*event.args)
+        queue = self._queue
+        pop = heapq.heappop
+        trace = self._trace
+        free = self._free if self._recycle else None
+        fired = 0
+        try:
+            while queue:
+                entry = pop(queue)
+                event = entry[3]
+                if not event.alive:
+                    self._dead -= 1
+                    if free is not None:
+                        event.fn = event.args = None
+                        free.append(event)
+                    continue
+                time = entry[0]
+                if limit is not None and time > limit:
+                    # Push it back: the caller may resume later.
+                    heapq.heappush(queue, entry)
+                    self._now = limit
+                    if until is not None and (self.max_cycles is None
+                                              or until <= self.max_cycles):
+                        return self._now
+                    raise SimulationError(
+                        f"cycle budget exhausted at {limit} cycles with "
+                        f"{len(queue)} pending events; "
+                        f"blocked actors: {self._incomplete_actors()!r}")
+                self._now = time
+                fired += 1
+                fn = event.fn
+                args = event.args
+                if trace is not None:  # pragma: no cover - debug hook
+                    trace(time, event.label)
+                if free is not None:
+                    # Recycle *before* dispatch so callbacks that schedule
+                    # reuse this very object; the handle contract (valid
+                    # only until the event fires) makes this safe.
+                    event.fn = event.args = None
+                    free.append(event)
+                fn(*args)
+                if queue is not self._queue:  # compaction replaced it
+                    queue = self._queue
+        finally:
+            self._events_fired += fired
         stuck = self._incomplete_actors()
         if stuck:
             raise DeadlockError(
@@ -203,7 +336,7 @@ class Simulator:
 
     def pending(self) -> int:
         """Number of live events still queued (cancelled ones excluded)."""
-        return sum(1 for e in self._queue if e.alive)
+        return sum(1 for entry in self._queue if entry[3].alive)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Simulator t={self._now} queued={len(self._queue)} "

@@ -26,7 +26,7 @@ from typing import Optional
 from repro.coherence.messages import BusRequest, Timestamp
 
 
-@dataclass
+@dataclass(slots=True)
 class DeferredEntry:
     """One deferred incoming request."""
 
@@ -76,6 +76,22 @@ class DeferredQueue:
     def lines(self) -> set[int]:
         return {e.line for e in self._entries}
 
+    def has_line(self, line: int) -> bool:
+        """Allocation-free membership test (hot: consulted on every miss
+        and probe while speculating; the queue is nearly always tiny)."""
+        for e in self._entries:
+            if e.request.line == line:
+                return True
+        return False
+
+    def only_line(self, line: int) -> bool:
+        """True when every queued entry (if any) targets ``line`` --
+        the allocation-free form of ``lines() <= {line}``."""
+        for e in self._entries:
+            if e.request.line != line:
+                return False
+        return True
+
     def earliest_ts(self) -> Optional[Timestamp]:
         stamps = [e.request.ts for e in self._entries
                   if e.request.ts is not None]
@@ -88,7 +104,7 @@ class DeferredQueue:
         return bool(self._entries)
 
 
-@dataclass
+@dataclass(slots=True)
 class ChainState:
     """Marker/probe bookkeeping for one line's outstanding miss.
 

@@ -140,6 +140,69 @@ class TestReport:
         assert "1.25" in text   # MCS/BASE
 
 
+class TestCliPerfAndCache:
+    def test_perf_quick_prints_table(self, capsys):
+        assert cli_main(["perf", "--quick", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "events/s" in out
+        assert "fig09_single_counter" in out
+
+    def test_perf_check_against_reference_file(self, tmp_path, capsys):
+        import json
+
+        easy = tmp_path / "easy.json"
+        easy.write_text(json.dumps({"results": {
+            "fig09_single_counter": {"events_per_sec": 1}}}))
+        out_path = tmp_path / "BENCH_perf.json"
+        assert cli_main(["perf", "--quick", "--repeats", "1",
+                         "--out", str(out_path),
+                         "--check", str(easy)]) == 0
+        assert "perf check" in capsys.readouterr().out
+        written = json.loads(out_path.read_text())
+        assert written["bench"] == "perf"
+        # An impossible reference makes the same measurement fail.
+        hard = tmp_path / "hard.json"
+        hard.write_text(json.dumps({"results": {
+            "fig09_single_counter": {"events_per_sec": 10 ** 12}}}))
+        assert cli_main(["perf", "--quick", "--repeats", "1",
+                         "--check", str(hard)]) == 1
+        assert "perf regression" in capsys.readouterr().err
+
+    def test_perf_missing_reference_is_usage_error(self, tmp_path, capsys):
+        assert cli_main(["perf", "--quick", "--repeats", "1",
+                         "--baseline", str(tmp_path / "nope.json")]) == 2
+        assert "perf:" in capsys.readouterr().err
+
+    def test_cache_status_and_prune(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert cli_main(["cache", "--cache-dir", str(cache_dir),
+                         "--prune"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 0 superseded entries" in out
+        assert str(cache_dir) in out
+        assert "0 entries" in out
+
+    def test_cache_clear(self, tmp_path, capsys):
+        from repro.harness.cache import ResultCache
+
+        cache_dir = tmp_path / "cache"
+        ResultCache(cache_dir).put("ab" + "0" * 62, {})
+        assert cli_main(["cache", "--cache-dir", str(cache_dir),
+                         "--clear"]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert len(ResultCache(cache_dir)) == 0
+
+    def test_run_metrics_openmetrics_format(self, tmp_path, capsys):
+        assert cli_main(["run", "single-counter", "--scheme", "TLR",
+                         "--cpus", "2", "--ops", "64", "--metrics",
+                         "--format", "openmetrics",
+                         "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "txn_commits_total" in out
+        assert "target_info{" in out
+        assert out.endswith("# EOF\n")
+
+
 class TestCliOpsHandling:
     def test_ops_zero_is_not_silently_defaulted(self, capsys):
         """--ops 0 must produce the minimal workload, not fall back to

@@ -1,5 +1,7 @@
 """Unit tests for the discrete-event kernel."""
 
+import random
+
 import pytest
 
 from repro.sim.kernel import DeadlockError, Simulator, SimulationError
@@ -210,3 +212,132 @@ def test_choice_hook_never_reorders_across_cycles():
     sim.schedule(6, fired.append, "late")
     sim.run()
     assert fired == ["early", "late"]
+
+
+# ----------------------------------------------------------------------
+# Allocation optimizations: free-list recycling and lazy-cancel
+# compaction must be observationally pure (identical firing order).
+# ----------------------------------------------------------------------
+class TestEventRecycling:
+    def test_reaped_cancelled_event_is_reused(self):
+        sim = Simulator()
+        dead = sim.schedule(1, lambda: None)
+        dead.cancel()
+        sim.run()  # reaps the cancelled event onto the free list
+        recycled = sim.schedule(5, lambda: None)
+        assert recycled is dead
+        assert recycled.alive and recycled.time == 5
+
+    def test_fired_event_is_reused_by_callback_schedule(self):
+        # Recycling happens *before* dispatch, so a callback that
+        # schedules gets back the very object that just fired.
+        sim = Simulator()
+        children = []
+        first = sim.schedule(1, lambda: children.append(
+            sim.schedule(1, lambda: None)))
+        sim.run()
+        assert children[0] is first
+
+    def test_recycling_disabled_allocates_fresh_objects(self):
+        sim = Simulator(recycle_events=False)
+        dead = sim.schedule(1, lambda: None)
+        dead.cancel()
+        sim.run()
+        assert sim.schedule(5, lambda: None) is not dead
+
+    def test_recycled_event_state_fully_reinitialized(self):
+        sim = Simulator()
+        fired = []
+        dead = sim.schedule(1, fired.append, "stale-arg", label="old")
+        dead.cancel()
+        sim.run()
+        reused = sim.schedule(2, fired.append, "fresh", label="new")
+        assert reused is dead
+        assert reused.label == "new"
+        sim.run()
+        assert fired == ["fresh"]
+
+
+class TestCompaction:
+    def test_compaction_drops_dead_events_from_queue(self):
+        sim = Simulator(compact_dead_min=1)
+        handles = [sim.schedule(t, lambda: None) for t in range(1, 5)]
+        for handle in handles[:3]:
+            handle.cancel()
+        # The most aggressive threshold has compacted by now: no dead
+        # event is left in the heap.
+        assert len(sim._queue) == sim.pending() == 1
+
+    def test_disabled_compaction_keeps_dead_events_queued(self):
+        sim = Simulator(compact_dead_min=None)
+        handles = [sim.schedule(t, lambda: None) for t in range(1, 5)]
+        for handle in handles[:3]:
+            handle.cancel()
+        assert len(sim._queue) == 4 and sim.pending() == 1
+
+    def test_compaction_preserves_time_prio_seq_order(self):
+        def drive(sim):
+            fired = []
+            sim.set_choice_hook(lambda label: {"a": 2, "b": 1}.get(label, 0))
+            handles = []
+            for tag in "abcabcab":
+                handles.append(
+                    sim.schedule(3, fired.append, tag, label=tag))
+            for tag in range(6):  # same-cycle FIFO tail
+                handles.append(sim.schedule(7, fired.append, tag))
+            for victim in handles[1::2]:
+                victim.cancel()
+            sim.run()
+            return fired
+
+        baseline = drive(Simulator(compact_dead_min=None))
+        compacted = drive(Simulator(compact_dead_min=1))
+        assert compacted == baseline
+        assert baseline  # the scenario fired something
+
+
+class TestReplayPurity:
+    """Property test: a seeded random schedule -- nested scheduling,
+    random cancels, same-cycle ties -- fires identically under every
+    combination of the allocation flags."""
+
+    @staticmethod
+    def _drive(sim, seed):
+        rng = random.Random(seed)
+        trace = []
+        pending = {}
+        spawned = [0]
+
+        def fire(tag):
+            # Handle contract: drop the reference once fired.
+            pending.pop(tag, None)
+            trace.append((sim.now, tag))
+            if pending and rng.random() < 0.4:
+                victim = rng.choice(sorted(pending))
+                pending.pop(victim).cancel()
+            if spawned[0] < 64 and rng.random() < 0.7:
+                spawned[0] += 1
+                child = f"s{spawned[0]}"
+                pending[child] = sim.schedule(
+                    rng.randrange(0, 6), fire, child)
+
+        for i in range(16):
+            tag = f"i{i}"
+            pending[tag] = sim.schedule(rng.randrange(0, 8), fire, tag)
+        sim.run()
+        return trace
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_schedule_replays_identically_across_flags(self, seed):
+        configs = [
+            dict(),                                      # defaults
+            dict(recycle_events=False),
+            dict(compact_dead_min=1),
+            dict(compact_dead_min=None),
+            dict(recycle_events=False, compact_dead_min=1),
+        ]
+        traces = [self._drive(Simulator(**kwargs), seed)
+                  for kwargs in configs]
+        assert traces[0]  # non-trivial scenario
+        for trace in traces[1:]:
+            assert trace == traces[0]

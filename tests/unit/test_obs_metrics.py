@@ -9,7 +9,8 @@ from repro.harness.machine import Machine
 from repro.harness.runner import (RunResult, _execute_workload,
                                   result_fingerprint)
 from repro.obs import (DEPTH_BUCKETS, Histogram, MachineMetrics,
-                       MetricsRegistry, summarize_metrics)
+                       MetricsRegistry, openmetrics_from_dict,
+                       summarize_metrics)
 from repro.workloads.microbench import linked_list, single_counter
 
 from tests.conftest import small_config
@@ -139,3 +140,66 @@ class TestObservationPurity:
         second = _execute_workload(single_counter(4, 96),
                                    small_config(4, SyncScheme.TLR))
         assert first.metrics == second.metrics
+
+
+class TestOpenMetrics:
+    """OpenMetrics text exposition of a metrics export."""
+
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("txn.commits").inc(4)
+        registry.gauge("defer.depth").set(3)
+        registry.gauge("defer.depth").set(1)
+        hist = registry.histogram("defer.latency", buckets=(1, 2, 4))
+        for value in (1, 2, 3, 99):
+            hist.observe(value)
+        return registry
+
+    def test_counter_rendered_with_total_suffix(self):
+        text = self._registry().to_openmetrics()
+        assert "# TYPE txn_commits counter" in text
+        assert "txn_commits_total 4" in text
+
+    def test_gauge_rendered_with_last_and_max(self):
+        text = self._registry().to_openmetrics()
+        assert "defer_depth 1" in text.splitlines()
+        assert "defer_depth_max 3" in text.splitlines()
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = self._registry().to_openmetrics()
+        assert 'defer_latency_bucket{le="1"} 1' in text
+        assert 'defer_latency_bucket{le="2"} 2' in text
+        assert 'defer_latency_bucket{le="4"} 3' in text
+        # +Inf bucket equals the total count (overflow included).
+        assert 'defer_latency_bucket{le="+Inf"} 4' in text
+        assert "defer_latency_sum 105" in text
+        assert "defer_latency_count 4" in text
+
+    def test_ends_with_eof_line(self):
+        text = self._registry().to_openmetrics()
+        assert text.endswith("# EOF\n")
+        assert openmetrics_from_dict(None) == "# EOF\n"
+        assert openmetrics_from_dict({}) == "# EOF\n"
+
+    def test_meta_section_becomes_target_info(self):
+        payload = self._registry().to_dict()
+        payload["meta"] = {"scheme": "BASE+SLE+TLR", "policy": "timestamp"}
+        text = openmetrics_from_dict(payload)
+        assert ('target_info{policy="timestamp",scheme="BASE+SLE+TLR"} 1'
+                in text)
+
+    def test_names_are_legalized(self):
+        registry = MetricsRegistry()
+        registry.counter("restart.reason.lock-acquired").inc()
+        text = registry.to_openmetrics()
+        assert "restart_reason_lock_acquired_total 1" in text
+
+    def test_finalized_machine_payload_renders(self):
+        machine = Machine(small_config(4, SyncScheme.TLR))
+        collector = MachineMetrics().attach(machine)
+        machine.run_workload(single_counter(4, 128))
+        text = openmetrics_from_dict(collector.finalize(machine))
+        assert "target_info{" in text
+        assert "txn_commits_total" in text
+        assert 'defer_queue_depth_bucket{le="+Inf"}' in text
+        assert text.endswith("# EOF\n")

@@ -203,3 +203,73 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         assert resolve_cache(cache) is cache
         assert isinstance(resolve_cache(True), ResultCache)
+
+
+class TestCacheVersioning:
+    """Entries live under a per-schema directory; superseded schemas
+    (and the original unversioned layout) are prunable garbage."""
+
+    @staticmethod
+    def _plant_stale(root):
+        """One entry under an old schema dir and one under the legacy
+        unversioned two-char fan-out; returns their parent dirs."""
+        old_version = root / "v1" / "ab"
+        old_version.mkdir(parents=True)
+        (old_version / ("ab" + "0" * 62 + ".json")).write_text("{}")
+        legacy = root / "cd"
+        legacy.mkdir()
+        (legacy / ("cd" + "0" * 62 + ".json")).write_text("{}")
+        return old_version.parent, legacy
+
+    def test_entries_land_under_current_version_dir(self, tmp_path):
+        from repro.harness.spec import FINGERPRINT_VERSION
+
+        cache = ResultCache(tmp_path)
+        fingerprint = "ab" + "0" * 62
+        cache.put(fingerprint, {"x": 1})
+        path = cache._path(fingerprint)
+        assert path.is_file()
+        assert path.parent.parent == tmp_path / f"v{FINGERPRINT_VERSION}"
+
+    def test_prune_removes_stale_keeps_current(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ee" + "0" * 62, {"keep": 1})
+        old_dir, legacy_dir = self._plant_stale(tmp_path)
+        assert cache.prune() == 2
+        assert not old_dir.exists() and not legacy_dir.exists()
+        assert cache.get("ee" + "0" * 62) == {"keep": 1}
+        assert len(cache) == 1
+        assert cache.prune() == 0  # idempotent
+
+    def test_first_miss_prunes_once_per_instance(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        old_dir, legacy_dir = self._plant_stale(tmp_path)
+        assert cache.get("ff" + "0" * 62) is None
+        assert not old_dir.exists() and not legacy_dir.exists()
+        # Only the first miss pays the scan: stale dirs planted later
+        # survive further misses on the same instance.
+        old_dir, _ = self._plant_stale(tmp_path)
+        assert cache.get("ff" + "1" * 62) is None
+        assert old_dir.exists()
+
+    def test_len_counts_current_schema_only(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("aa" + "0" * 62, {})
+        self._plant_stale(tmp_path)
+        assert len(cache) == 1
+
+    def test_clear_spans_all_schema_versions(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("aa" + "0" * 62, {})
+        self._plant_stale(tmp_path)
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_stale_version_entry_is_never_a_hit(self, tmp_path):
+        # The same fingerprint cached under an old schema dir must not
+        # satisfy a current-schema lookup.
+        fingerprint = "ab" + "0" * 62
+        stale = tmp_path / "v1" / "ab" / f"{fingerprint}.json"
+        stale.parent.mkdir(parents=True)
+        stale.write_text('{"stale": true}')
+        assert ResultCache(tmp_path).get(fingerprint) is None

@@ -1,6 +1,7 @@
 """Tests for the cross-commit BENCH trend report (``repro trend``)."""
 
 import json
+import subprocess
 
 import pytest
 
@@ -167,6 +168,20 @@ class TestCli:
         assert code == 2
         assert "trend:" in capsys.readouterr().err
 
+    def test_perf_metrics_have_directions(self):
+        """The perf artifact's throughput metrics must classify, not
+        drift: falling events/sec and rising wall_s are regressions."""
+        assert trend.direction_of(
+            "results.fig09_single_counter.events_per_sec") == "higher"
+        assert trend.direction_of(
+            "results.fig09_single_counter.wall_s") == "lower"
+        down = trend.Delta(artifact="BENCH_perf.json", path="p.events_per_sec",
+                           base=100_000, current=60_000, direction="higher")
+        assert down.classify(threshold=0.05) == "regression"
+        up = trend.Delta(artifact="BENCH_perf.json", path="p.wall_s",
+                         base=1.0, current=1.5, direction="lower")
+        assert up.classify(threshold=0.05) == "regression"
+
     def test_git_ref_baseline_against_head(self, capsys):
         """The committed artifacts compared against themselves at HEAD
         must be representable (the repo itself is the fixture); any
@@ -177,3 +192,97 @@ class TestCli:
         code = main(["trend", "--against", "HEAD", "--artifacts", "."])
         assert code in (0, 1)
         capsys.readouterr()
+
+
+def _payload(cycles):
+    return {"bench": "x", "config": {"ops": 512},
+            "results": {"cycles": {"TLR": [cycles]}, "constant": 7},
+            "wall_seconds": 0.1}
+
+
+@pytest.fixture
+def history_repo(tmp_path):
+    """A throwaway git repo with two commits of BENCH_x.json (cycles
+    1000 then 900) and a working-tree edit to 800."""
+    repo = tmp_path / "repo"
+    repo.mkdir()
+
+    def git(*argv):
+        subprocess.run(["git", "-C", str(repo), *argv], check=True,
+                       capture_output=True)
+
+    git("init", "-q")
+    git("config", "user.email", "trend@test.invalid")
+    git("config", "user.name", "trend-test")
+    for cycles in (1000, 900):
+        (repo / "BENCH_x.json").write_text(json.dumps(_payload(cycles)))
+        git("add", "-A")
+        git("commit", "-q", "-m", f"cycles {cycles}")
+    (repo / "BENCH_x.json").write_text(json.dumps(_payload(800)))
+    return repo
+
+
+class TestHistory:
+    def test_series_spans_commits_and_worktree(self, history_repo):
+        report = trend.history_report(1, artifacts_dir=history_repo)
+        assert report.refs == ["HEAD~1", "HEAD", "worktree"]
+        key = ("BENCH_x.json", "results.cycles.TLR.0")
+        assert report.series[key] == [1000, 900, 800]
+
+    def test_window_larger_than_history_degrades_gracefully(
+            self, history_repo):
+        report = trend.history_report(10, artifacts_dir=history_repo)
+        # Only HEAD~1 exists; deeper refs are skipped, not fatal.
+        assert report.refs == ["HEAD~1", "HEAD", "worktree"]
+
+    def test_changed_filters_constant_series(self, history_repo):
+        report = trend.history_report(1, artifacts_dir=history_repo)
+        constant = ("BENCH_x.json", "results.constant")
+        assert constant in report.series
+        assert constant not in report.changed()
+        assert ("BENCH_x.json", "results.cycles.TLR.0") in report.changed()
+
+    def test_markdown_table(self, history_repo):
+        text = trend.history_report(
+            1, artifacts_dir=history_repo).to_markdown()
+        assert "| HEAD~1 | HEAD | worktree |" in text
+        assert "results.cycles.TLR.0" in text
+        assert "1000 | 900 | 800" in text
+        assert "results.constant" not in text  # changed-only by default
+
+    def test_all_metrics_includes_constants(self, history_repo):
+        report = trend.history_report(1, artifacts_dir=history_repo)
+        text = report.to_markdown(changed_only=False)
+        assert "results.constant" in text
+        data = report.to_dict(changed_only=False)
+        paths = {row["path"] for row in data["series"]}
+        assert "results.constant" in paths
+
+    def test_direction_annotated_in_dict(self, history_repo):
+        data = trend.history_report(
+            1, artifacts_dir=history_repo).to_dict()
+        by_path = {row["path"]: row for row in data["series"]}
+        assert by_path["results.cycles.TLR.0"]["direction"] == "lower"
+
+    def test_window_below_one_raises(self, history_repo):
+        with pytest.raises(trend.TrendError, match=">= 1"):
+            trend.history_report(0, artifacts_dir=history_repo)
+
+    def test_cli_history_is_informational_exit_zero(self, history_repo,
+                                                    capsys):
+        code = main(["trend", "--history", "1",
+                     "--artifacts", str(history_repo),
+                     "--repo", str(history_repo)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BENCH history" in out
+        assert "results.cycles.TLR.0" in out
+
+    def test_cli_history_json(self, history_repo, capsys):
+        code = main(["trend", "--history", "1", "--json",
+                     "--artifacts", str(history_repo),
+                     "--repo", str(history_repo)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["refs"] == ["HEAD~1", "HEAD", "worktree"]
+        assert payload["series"][0]["values"] == [1000, 900, 800]

@@ -20,7 +20,7 @@ the workload that stresses it:
 from dataclasses import replace
 
 from repro.harness.config import SyncScheme, SystemConfig
-from repro.harness.runner import run
+from repro.harness.parallel import run
 from repro.workloads.apps import cholesky
 from repro.workloads.microbench import linked_list, single_counter
 

@@ -9,7 +9,7 @@ latency structure.
 """
 
 from repro.harness.config import SyncScheme, SystemConfig
-from repro.harness.runner import run
+from repro.harness.parallel import run
 from repro.workloads.microbench import linked_list, single_counter
 
 from conftest import bench_json, emit, scale

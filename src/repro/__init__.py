@@ -20,9 +20,10 @@ Typical use::
 from repro.harness.cache import ResultCache
 from repro.harness.config import SyncScheme, SystemConfig
 from repro.harness.machine import Machine
+from repro.harness.jobs import JobResult, submit
 from repro.harness.parallel import FailedRun, SweepTelemetry, run
-from repro.harness.runner import RunResult, compare_schemes, run_scheme
-from repro.harness.spec import ExperimentSpec, RunSpec
+from repro.harness.runner import RunResult, execute_workload
+from repro.harness.spec import ExperimentSpec, JobSpec, RunSpec
 from repro.runtime.env import ThreadEnv
 from repro.runtime.program import ValidationError, Workload
 
@@ -30,9 +31,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "SystemConfig", "SyncScheme", "Machine", "RunResult",
-    "run", "run_scheme", "compare_schemes",
-    "RunSpec", "ExperimentSpec", "ResultCache", "FailedRun",
-    "SweepTelemetry",
+    "run", "execute_workload", "submit",
+    "RunSpec", "ExperimentSpec", "JobSpec", "JobResult",
+    "ResultCache", "FailedRun", "SweepTelemetry",
     "ThreadEnv", "Workload", "ValidationError",
     "__version__",
 ]

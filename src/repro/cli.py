@@ -33,11 +33,15 @@ import json
 import sys
 from typing import Optional
 
-from repro.harness import experiments, parallel, report
+from repro.harness import report
 from repro.harness.config import SystemConfig
+from repro.harness.experiments import (AppResult, PolicyGridResult,
+                                       SweepResult)
+from repro.harness.jobs import JobResult, submit
 from repro.harness.parallel import FailedRun
-from repro.harness.spec import (SIZE_PARAM, WORKLOAD_BUILDERS, RunSpec,
-                                scheme_from_str)
+from repro.harness.runner import RunResult
+from repro.harness.spec import (SIZE_PARAM, WORKLOAD_BUILDERS, JobSpec,
+                                RunSpec, scheme_from_str)
 
 SCHEME_ALIASES = ("BASE", "SLE", "TLR", "TLR-STRICT-TS", "MCS")
 
@@ -63,6 +67,12 @@ def _engine_opts(cmd: argparse.ArgumentParser) -> None:
 def _engine_kwargs(args) -> dict:
     cache = False if args.no_cache else (args.cache_dir or True)
     return {"jobs": args.jobs, "timeout": args.timeout, "cache": cache}
+
+
+def _submit(spec: JobSpec, args) -> JobResult:
+    """Every CLI subcommand funnels its work through here -- the same
+    :func:`repro.harness.jobs.submit` the HTTP service calls."""
+    return submit(spec, **_engine_kwargs(args))
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -218,6 +228,27 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "fingerprint-schema versions")
     cache_cmd.add_argument("--clear", action="store_true",
                            help="remove every entry (all versions)")
+    cache_cmd.add_argument("--stats", action="store_true",
+                           help="entry count, byte footprint and the "
+                                "hit/miss counters persisted by the "
+                                "service")
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the HTTP job-queue service (POST JobSpec "
+                      "envelopes to /jobs; progress on /jobs/<id>/events; "
+                      "OpenMetrics on /metrics)")
+    serve_cmd.add_argument("--host", type=str, default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8023,
+                           help="listen port (0 = ephemeral)")
+    serve_cmd.add_argument("--workers", type=int, default=2,
+                           help="concurrent jobs (worker threads)")
+    serve_cmd.add_argument("--regen", action="store_true",
+                           help="before serving, re-simulate BENCH "
+                                "artifact cells whose fingerprints are "
+                                "missing from the cache")
+    serve_cmd.add_argument("--verbose", action="store_true",
+                           help="log every HTTP request")
+    _engine_opts(serve_cmd)
 
     runner = sub.add_parser("run", help="run one workload")
     runner.add_argument("workload", choices=sorted(WORKLOAD_BUILDERS))
@@ -264,27 +295,52 @@ def _emit_sweep(result, args) -> int:
 
 
 def _do_sweep(args, name: str) -> int:
-    kwargs = {"processor_counts": args.procs,
-              "config": _config(args.seed), **_engine_kwargs(args)}
-    if name == "figure8":
-        if args.ops:
-            kwargs["total_increments"] = args.ops
-        result = experiments.figure8_multiple_counter(**kwargs)
-    elif name == "figure9":
-        if args.ops:
-            kwargs["total_increments"] = args.ops
-        result = experiments.figure9_single_counter(**kwargs)
-    else:
-        if args.ops:
-            kwargs["total_ops"] = args.ops
-        result = experiments.figure10_linked_list(**kwargs)
+    params = {"processor_counts": list(args.procs),
+              "config": _config(args.seed)}
+    if args.ops:
+        params["total_ops" if name == "figure10"
+               else "total_increments"] = args.ops
+    job = _submit(JobSpec.sweep(name, **params), args)
+    result = SweepResult.from_dict(job.result)
+    if job.telemetry is not None:
+        result.extra["telemetry"] = job.telemetry
     return _emit_sweep(result, args)
 
 
-def _print_telemetry() -> None:
-    line = report.telemetry_line(experiments.last_telemetry())
+def _print_telemetry(job: JobResult) -> None:
+    if job.cached:
+        print("job replayed from cache (nothing simulated)",
+              file=sys.stderr)
+        return
+    line = report.telemetry_line(job.telemetry)
     if line:
         print(line, file=sys.stderr)
+
+
+def _render_verify_payload(payload: dict) -> str:
+    """Human summary of a serialized VerifySuiteResult payload."""
+    lines = []
+    for name, entry in (payload.get("workloads") or {}).items():
+        status = ("PASS" if entry["ok"]
+                  else f"FAIL ({len(entry['failures'])} seeds)")
+        lines.append(
+            f"{name}: {status} -- {entry['seeds']} seeds, "
+            f"{entry['total_txns']} txns verified, "
+            f"{entry['cache_hits']} cached, "
+            f"{entry['wall_seconds']:.1f}s")
+    shrunk = payload.get("shrunk")
+    if shrunk:
+        spec = shrunk.get("spec") or {}
+        config = spec.get("config") or {}
+        problem = (shrunk.get("result") or {}).get("error") or ", ".join(
+            (shrunk.get("result") or {}).get("violations") or ["?"])[:200]
+        lines += ["",
+                  f"minimal reproduction after "
+                  f"{shrunk.get('shrink_steps', 0)} shrink steps: "
+                  f"{spec.get('workload')} cpus={config.get('num_cpus')} "
+                  f"seed={config.get('seed')}",
+                  f"failure: {problem}", "", shrunk.get("trace", "")]
+    return "\n".join(lines)
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -301,48 +357,50 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _do_sweep(args, args.command)
 
     if args.command == "figure7":
-        result = experiments.figure7_queue_on_data(
-            num_cpus=args.cpus, total_increments=args.ops,
-            **_engine_kwargs(args))
+        job = _submit(JobSpec.sweep("figure7", num_cpus=args.cpus,
+                                    total_increments=args.ops), args)
         if args.json:
-            print(json.dumps(result, indent=2))
+            print(json.dumps(job.result, indent=2))
         else:
-            print(report.dict_table(result, "figure 7: queue on data (TLR)"))
-            _print_telemetry()
+            print(report.dict_table(job.result,
+                                    "figure 7: queue on data (TLR)"))
+            _print_telemetry(job)
         return 0
 
     if args.command == "figure11":
         apps = args.apps.split(",") if args.apps else None
-        results = experiments.figure11_applications(
-            num_cpus=args.cpus, apps=apps, **_engine_kwargs(args))
+        job = _submit(JobSpec.sweep("figure11", num_cpus=args.cpus,
+                                    apps=apps), args)
         if args.json:
-            print(json.dumps({name: app.to_dict()
-                              for name, app in results.items()}, indent=2))
+            print(json.dumps(job.result, indent=2))
             return 0
+        results = {name: AppResult.from_dict(app)
+                   for name, app in job.result.items()}
         print(report.figure11_table(results))
         print(report.speedup_summary(results))
         for app in results.values():
             if app.failures:
                 print(report.failures_table(app.failures), file=sys.stderr)
-        _print_telemetry()
+        _print_telemetry(job)
         return 0
 
     if args.command == "coarse-vs-fine":
-        result = experiments.table_coarse_vs_fine(**_engine_kwargs(args))
+        job = _submit(JobSpec.sweep("coarse-vs-fine"), args)
         if args.json:
-            print(json.dumps(result, indent=2))
+            print(json.dumps(job.result, indent=2))
         else:
-            print(report.dict_table(result, "mp3d: coarse vs fine grain"))
-            _print_telemetry()
+            print(report.dict_table(job.result,
+                                    "mp3d: coarse vs fine grain"))
+            _print_telemetry(job)
         return 0
 
     if args.command == "rmw-predictor":
-        result = experiments.table_rmw_predictor(**_engine_kwargs(args))
+        job = _submit(JobSpec.sweep("rmw-predictor"), args)
         if args.json:
-            print(json.dumps(result, indent=2))
+            print(json.dumps(job.result, indent=2))
         else:
-            print(report.dict_table(result, "BASE / BASE-no-opt"))
-            _print_telemetry()
+            print(report.dict_table(job.result, "BASE / BASE-no-opt"))
+            _print_telemetry(job)
         return 0
 
     if args.command == "verify":
@@ -362,19 +420,18 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(f"unknown policy {args.policy}; one of "
                   f"{' '.join(POLICY_NAMES)}", file=sys.stderr)
             return 2
-        result = experiments.verify(
+        job = _submit(JobSpec.verify(
             workloads=args.workloads or None,
             scheme=scheme_from_str(scheme_name.replace("-", "_")),
             num_cpus=args.cpus, seeds=args.seeds, ops=args.ops,
             chaos=args.chaos, base_seed=args.base_seed,
-            shrink=not args.no_shrink, policy=args.policy,
-            **_engine_kwargs(args))
+            shrink=not args.no_shrink, policy=args.policy), args)
         if args.json:
-            print(json.dumps(result.to_dict(), indent=2))
+            print(json.dumps(job.result, indent=2))
         else:
-            print(result.render())
-            _print_telemetry()
-        return 0 if result.ok else 1
+            print(_render_verify_payload(job.result))
+            _print_telemetry(job)
+        return 0 if job.result["ok"] else 1
 
     if args.command == "policies":
         from repro.policies import POLICY_NAMES
@@ -393,16 +450,17 @@ def main(argv: Optional[list[str]] = None) -> int:
                       f"{' '.join(sorted(WORKLOAD_BUILDERS))}",
                       file=sys.stderr)
                 return 2
-        grid = experiments.policy_grid(
-            policies=policies, workloads=workloads,
-            processor_counts=args.procs, seeds=args.seeds,
+        job = _submit(JobSpec.sweep(
+            "policies", policies=policies, workloads=workloads,
+            processor_counts=list(args.procs), seeds=args.seeds,
             ops=args.ops, app_scale=args.app_scale,
-            base_seed=args.base_seed, **_engine_kwargs(args))
+            base_seed=args.base_seed), args)
+        grid = PolicyGridResult.from_dict(job.result)
         if args.json:
-            print(json.dumps(grid.to_dict(), indent=2))
+            print(json.dumps(job.result, indent=2))
         else:
             print(report.policy_grid_table(grid))
-            _print_telemetry()
+            _print_telemetry(job)
         return 0 if grid.ok else 1
 
     if args.command == "trend":
@@ -453,14 +511,15 @@ def main(argv: Optional[list[str]] = None) -> int:
                               seed=args.seed)
         spec = RunSpec(workload=args.workload, config=config,
                        workload_args=workload_args)
-        outcome = parallel.run(spec, timeout=args.timeout,
-                               cache=_engine_kwargs(args)["cache"])
-        if isinstance(outcome, FailedRun):
-            print(f"run failed after {outcome.attempts} attempts: "
-                  f"{outcome.error}: {outcome.message}", file=sys.stderr)
+        job = _submit(JobSpec.run(spec), args)
+        if not job.result["ok"]:
+            failed = FailedRun.from_dict(job.result["outcome"])
+            print(f"run failed after {failed.attempts} attempts: "
+                  f"{failed.error}: {failed.message}", file=sys.stderr)
             return 1
+        outcome = RunResult.from_dict(job.result["outcome"])
         if args.json:
-            print(json.dumps(outcome.to_dict(), indent=2))
+            print(json.dumps(job.result["outcome"], indent=2))
             return 0
         print(f"{args.workload} under {scheme.value} on {args.cpus} CPUs:")
         print(f"  cycles: {outcome.cycles}")
@@ -486,8 +545,9 @@ def main(argv: Optional[list[str]] = None) -> int:
             except (FileNotFoundError, json.JSONDecodeError) as exc:
                 print(f"perf: {exc}", file=sys.stderr)
                 return 2
-        payload = perf.run_perf(quick=args.quick, repeats=args.repeats,
-                                baseline=baseline)
+        job = submit(JobSpec.perf(quick=args.quick, repeats=args.repeats,
+                                  baseline=baseline))
+        payload = job.result
         if args.out:
             from pathlib import Path
             Path(args.out).write_text(
@@ -524,6 +584,21 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"cache root: {store.root}")
         print(f"current schema: {store.version_dir.name} "
               f"({len(store)} entries)")
+        if args.stats:
+            stats = store.stats()
+            print(f"size: {stats['bytes']} bytes "
+                  f"across {stats['entries']} entries")
+            print(f"lifetime hits/misses: {stats['hits']}/"
+                  f"{stats['misses']}")
+        return 0
+
+    if args.command == "serve":
+        from repro.serve import serve
+        engine = _engine_kwargs(args)
+        serve(args.host, args.port, workers=args.workers,
+              jobs=engine["jobs"], cache=engine["cache"],
+              timeout=engine["timeout"], regen=args.regen,
+              verbose=args.verbose)
         return 0
 
     return 2  # pragma: no cover - argparse enforces choices

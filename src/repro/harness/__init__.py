@@ -5,9 +5,11 @@
 :class:`~repro.harness.spec.RunSpec`, a registered experiment name
 ("figure9", ...), an :class:`~repro.harness.spec.ExperimentSpec`, or a
 raw :class:`~repro.runtime.program.Workload`, with keyword-only engine
-options ``jobs``/``timeout``/``cache``/``validate``/``retries``.  The
-old per-style entry points (``runner.run``, ``run_scheme``,
-``compare_schemes``) remain as deprecated shims.
+options ``jobs``/``timeout``/``cache``/``validate``/``retries``.
+:func:`~repro.harness.jobs.submit` wraps the same dispatch in the
+:class:`~repro.harness.spec.JobSpec` envelope shared with the
+``repro serve`` HTTP service; :func:`~repro.harness.runner.execute_workload`
+is the single low-level entry point beneath both.
 """
 
 from repro.harness.config import (BusConfig, CacheConfig, MemoryConfig,
@@ -15,16 +17,19 @@ from repro.harness.config import (BusConfig, CacheConfig, MemoryConfig,
 from repro.harness.cache import ResultCache, default_cache_dir
 from repro.harness.machine import Machine
 from repro.harness.parallel import (FailedRun, RunTimeout, SweepTelemetry,
-                                    execute, run)
-from repro.harness.runner import (RunResult, compare_schemes, run_scheme)
-from repro.harness.spec import EXPERIMENTS, ExperimentSpec, RunSpec
+                                    WorkerPool, execute, run, use_engine)
+from repro.harness.jobs import JobResult, submit
+from repro.harness.runner import RunResult, execute_workload
+from repro.harness.spec import (EXPERIMENTS, ExperimentSpec, JobSpec,
+                                RunSpec, SchemaError)
 from repro.harness import analysis, experiments, report
 
 __all__ = [
     "SystemConfig", "SyncScheme", "CacheConfig", "BusConfig", "MemoryConfig",
-    "SpeculationConfig", "Machine", "RunResult", "run", "run_scheme",
-    "compare_schemes", "experiments", "report", "analysis",
+    "SpeculationConfig", "Machine", "RunResult", "run", "execute_workload",
+    "experiments", "report", "analysis",
     "RunSpec", "ExperimentSpec", "EXPERIMENTS", "ResultCache",
     "default_cache_dir", "FailedRun", "RunTimeout", "SweepTelemetry",
-    "execute",
+    "execute", "JobSpec", "JobResult", "submit", "SchemaError",
+    "WorkerPool", "use_engine",
 ]

@@ -38,6 +38,11 @@ from repro.harness.spec import FINGERPRINT_VERSION
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Root-level file holding hit/miss counters persisted across processes
+#: (``repro cache --stats`` reads it; the job service merges into it on
+#: shutdown).  Not an entry: prune/clear leave it alone.
+STATS_FILE = "stats.json"
+
 
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-tlr``."""
@@ -138,6 +143,8 @@ class ResultCache:
         if not self.root.is_dir():
             return 0
         for path in self.root.rglob("*.json"):
+            if path == self._stats_path():
+                continue
             try:
                 path.unlink()
                 removed += 1
@@ -150,6 +157,68 @@ class ResultCache:
         if not self.version_dir.is_dir():
             return 0
         return sum(1 for _ in self.version_dir.glob("*/*.json"))
+
+    # -- statistics -----------------------------------------------------
+    def _stats_path(self) -> Path:
+        return self.root / STATS_FILE
+
+    def _load_counters(self) -> dict:
+        try:
+            with open(self._stats_path(), "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def persist_counters(self) -> dict:
+        """Merge this instance's session hit/miss counters into
+        ``<root>/stats.json`` (atomic replace) and reset them, so
+        repeated persists never double-count.  Lifetime counters are
+        advisory: two processes persisting at the same instant may lose
+        an increment, which is acceptable for statistics."""
+        merged = self._load_counters()
+        merged["hits"] = merged.get("hits", 0) + self.hits
+        merged["misses"] = merged.get("misses", 0) + self.misses
+        self.hits = 0
+        self.misses = 0
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(merged, fh)
+            os.replace(tmp, self._stats_path())
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return merged
+
+    def stats(self) -> dict:
+        """Cache footprint and counters: current-version entry count and
+        byte size, lifetime hit/miss counters from ``stats.json``, and
+        this instance's not-yet-persisted session counters."""
+        entries = 0
+        size = 0
+        if self.version_dir.is_dir():
+            for path in self.version_dir.glob("*/*.json"):
+                entries += 1
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    pass
+        persisted = self._load_counters()
+        return {
+            "root": str(self.root),
+            "fingerprint_version": FINGERPRINT_VERSION,
+            "entries": entries,
+            "bytes": size,
+            "hits": persisted.get("hits", 0),
+            "misses": persisted.get("misses", 0),
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+        }
 
 
 def resolve_cache(cache) -> Optional[ResultCache]:

@@ -31,8 +31,9 @@ from repro.harness import parallel
 from repro.harness.config import SyncScheme, SystemConfig
 from repro.harness.parallel import FailedRun
 from repro.harness.runner import RunResult
-from repro.harness.spec import (SIZE_PARAM, RunSpec, register_experiment,
-                                scheme_from_str, scheme_to_str)
+from repro.harness.spec import (SIZE_PARAM, RunSpec, check_schema,
+                                register_experiment, scheme_from_str,
+                                scheme_to_str, stamp_schema)
 from repro.obs import summarize_metrics
 from repro.workloads.apps import ALL_APPS
 
@@ -100,17 +101,18 @@ class SweepResult:
         # count), not part of the result: keeping it out of the stable
         # form preserves jobs=N output being bit-identical to jobs=1.
         extra = {k: v for k, v in self.extra.items() if k != "telemetry"}
-        return {
+        return stamp_schema({
             "name": self.name,
             "processor_counts": list(self.processor_counts),
             "series": {scheme_to_str(s): list(v)
                        for s, v in self.series.items()},
             "failures": [f.to_dict() for f in self.failures],
             "extra": extra,
-        }
+        })
 
     @classmethod
     def from_dict(cls, data: dict) -> "SweepResult":
+        check_schema(data, "SweepResult")
         return cls(
             name=data["name"],
             processor_counts=list(data["processor_counts"]),
@@ -156,7 +158,7 @@ class AppResult:
     def to_dict(self) -> dict:
         def keyed(mapping: dict[SyncScheme, int]) -> dict[str, int]:
             return {scheme_to_str(s): v for s, v in mapping.items()}
-        return {
+        return stamp_schema({
             "name": self.name,
             "cycles": keyed(self.cycles),
             "lock_cycles": keyed(self.lock_cycles),
@@ -164,10 +166,12 @@ class AppResult:
             "resource_fallbacks": keyed(self.resource_fallbacks),
             "critical_sections": keyed(self.critical_sections),
             "failures": [f.to_dict() for f in self.failures],
-        }
+        })
 
     @classmethod
     def from_dict(cls, data: dict) -> "AppResult":
+        check_schema(data, "AppResult")
+
         def unkeyed(mapping: Optional[dict]) -> dict[SyncScheme, int]:
             return {scheme_from_str(k): v
                     for k, v in (mapping or {}).items()}
@@ -550,14 +554,16 @@ class PolicyGridResult:
 
     # -- serialization (stable public contract) ------------------------
     def to_dict(self) -> dict:
-        return {"policies": list(self.policies),
-                "workloads": list(self.workloads),
-                "processor_counts": list(self.processor_counts),
-                "seeds": self.seeds,
-                "cells": {k: dict(v) for k, v in self.cells.items()}}
+        return stamp_schema({
+            "policies": list(self.policies),
+            "workloads": list(self.workloads),
+            "processor_counts": list(self.processor_counts),
+            "seeds": self.seeds,
+            "cells": {k: dict(v) for k, v in self.cells.items()}})
 
     @classmethod
     def from_dict(cls, data: dict) -> "PolicyGridResult":
+        check_schema(data, "PolicyGridResult")
         return cls(policies=list(data["policies"]),
                    workloads=list(data["workloads"]),
                    processor_counts=list(data["processor_counts"]),

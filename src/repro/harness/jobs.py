@@ -1,0 +1,186 @@
+"""Transport-agnostic job execution: ``submit(JobSpec) -> JobResult``.
+
+This is the single choke point every front end routes work through.
+The CLI subcommands (``repro run``/``figure9``/``verify``/``perf``) and
+the HTTP service (``repro serve``) both build a
+:class:`~repro.harness.spec.JobSpec` and call :func:`submit`; neither
+has a private execution path, so a job behaves identically whether it
+arrives over argv or over HTTP -- same fingerprints, same results, same
+cache entries.
+
+Two layers of caching apply:
+
+* **cell level** -- the sweep engine's per-:class:`RunSpec` result
+  cache (unchanged); a re-submitted sweep whose grid overlaps an
+  earlier one reuses the overlapping cells.
+* **job level** -- a *completed* job's full :class:`JobResult` is
+  stored under ``job-<fingerprint>``; an identical later submission is
+  replayed from disk without touching the engine at all (zero
+  simulations, zero cell-cache reads).  Perf jobs are exempt
+  (:attr:`JobSpec.cacheable`): they measure the machine, not a
+  deterministic outcome.
+
+In-flight coalescing (two concurrent submissions of the same
+fingerprint share one execution) lives a layer up, in
+:class:`repro.serve.queue.JobQueue` -- it needs the service's notion of
+job identity and subscriber lists, which this module deliberately knows
+nothing about.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.harness import parallel
+from repro.harness.cache import resolve_cache
+from repro.harness.spec import (JobSpec, check_schema, config_from_dict,
+                                get_experiment, scheme_from_str, stamp_schema)
+
+#: Job-level cache entries share the run cache's directory but are
+#: namespaced so a job fingerprint can never collide with a cell
+#: fingerprint.
+JOB_CACHE_PREFIX = "job-"
+
+
+@dataclass
+class JobResult:
+    """What one submitted job produced, as transportable data.
+
+    ``result`` is the kind-specific payload, already serialized
+    (``RunResult``/``SweepResult``/... ``to_dict()`` images, or plain
+    dicts for the table experiments); ``telemetry`` is the engine
+    telemetry of the execution that produced it -- absent on a replay,
+    where nothing executed.
+    """
+
+    kind: str
+    fingerprint: str
+    result: Any
+    telemetry: Optional[dict] = None
+    cached: bool = False
+    elapsed: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return stamp_schema({
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "result": self.result,
+            "telemetry": self.telemetry,
+            "cached": self.cached,
+            "elapsed": self.elapsed,
+            "extra": dict(self.extra),
+        })
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobResult":
+        check_schema(data, "JobResult")
+        return cls(kind=data["kind"],
+                   fingerprint=data["fingerprint"],
+                   result=data.get("result"),
+                   telemetry=data.get("telemetry"),
+                   cached=data.get("cached", False),
+                   elapsed=data.get("elapsed", 0.0),
+                   extra=dict(data.get("extra") or {}))
+
+
+def serialize_result(obj: Any) -> Any:
+    """Recursively convert an experiment's return value to plain data.
+
+    Experiments return heterogeneous types -- ``SweepResult``,
+    ``PolicyGridResult``, ``dict[str, AppResult]``, plain dicts of
+    scalars -- so serialization walks: anything with ``to_dict`` uses
+    it, dicts recurse, everything else passes through.
+    """
+    if hasattr(obj, "to_dict"):
+        return obj.to_dict()
+    if isinstance(obj, dict):
+        return {key: serialize_result(value) for key, value in obj.items()}
+    return obj
+
+
+def _decode_params(params: dict) -> dict:
+    """Rehydrate wire-form parameters into the types experiment
+    functions expect: ``config`` dicts become :class:`SystemConfig`,
+    ``scheme`` strings become :class:`SyncScheme`."""
+    decoded = dict(params)
+    if isinstance(decoded.get("config"), dict):
+        decoded["config"] = config_from_dict(decoded["config"])
+    if isinstance(decoded.get("scheme"), str):
+        decoded["scheme"] = scheme_from_str(decoded["scheme"])
+    return decoded
+
+
+def _execute_job(spec: JobSpec, *, jobs: int, timeout: Optional[float],
+                 cache, retries: Optional[int]
+                 ) -> tuple[Any, Optional[dict]]:
+    """Dispatch one job by kind; returns (payload, telemetry)."""
+    if spec.kind == "run":
+        outcomes, telemetry = parallel.execute(
+            [spec.run_spec()], jobs=jobs, timeout=timeout,
+            retries=retries, cache=cache)
+        outcome = outcomes[0]
+        return ({"ok": not isinstance(outcome, parallel.FailedRun),
+                 "outcome": outcome.to_dict()},
+                telemetry.to_dict())
+    if spec.kind == "perf":
+        # Lazy import: perf is a leaf module the hot path never needs.
+        from repro.harness import perf
+        return perf.run_perf(**dict(spec.params)), None
+    # "sweep" and "verify" both run a registered experiment; verify is
+    # its own kind because its params/result contract is distinct, not
+    # because it executes differently.
+    from repro.harness import experiments
+    params = _decode_params(spec.params)
+    if spec.kind == "sweep":
+        experiment = get_experiment(params.pop("experiment"))
+    else:
+        experiment = get_experiment("verify")
+    value = experiment.runner(**params, jobs=jobs, timeout=timeout,
+                              cache=cache, retries=retries)
+    return serialize_result(value), experiments.last_telemetry()
+
+
+def submit(spec: JobSpec, *, jobs: int = 1,
+           timeout: Optional[float] = None,
+           cache=None,
+           retries: Optional[int] = None,
+           pool=None,
+           progress=None) -> JobResult:
+    """Execute (or replay) one job.
+
+    ``jobs``/``timeout``/``cache``/``retries`` are the uniform engine
+    keywords (see :func:`repro.harness.parallel.execute`).  ``pool``
+    installs a persistent :class:`~repro.harness.parallel.WorkerPool`
+    and ``progress`` a per-cell tap for every engine call the job makes
+    (via :func:`~repro.harness.parallel.use_engine`), however deeply
+    buried in experiment code.
+    """
+    store = resolve_cache(cache)
+    fingerprint = spec.fingerprint()
+    if store is not None and spec.cacheable:
+        payload = store.get(JOB_CACHE_PREFIX + fingerprint)
+        if payload is not None:
+            try:
+                replay = JobResult.from_dict(payload)
+            except (KeyError, TypeError, ValueError):
+                store.invalidate(JOB_CACHE_PREFIX + fingerprint)
+            else:
+                replay.cached = True
+                replay.telemetry = None  # nothing executed this time
+                store.persist_counters()
+                return replay
+    started = time.perf_counter()
+    with parallel.use_engine(pool=pool, progress=progress):
+        payload, telemetry = _execute_job(
+            spec, jobs=jobs, timeout=timeout, cache=store, retries=retries)
+    result = JobResult(kind=spec.kind, fingerprint=fingerprint,
+                       result=payload, telemetry=telemetry,
+                       elapsed=time.perf_counter() - started)
+    if store is not None and spec.cacheable:
+        store.put(JOB_CACHE_PREFIX + fingerprint, result.to_dict())
+    if store is not None:
+        store.persist_counters()  # keep `repro cache --stats` truthful
+    return result

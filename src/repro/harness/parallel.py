@@ -37,9 +37,10 @@ from typing import Any, Callable, Optional, Sequence, Union
 
 from repro.harness.cache import resolve_cache
 from repro.harness.config import SystemConfig
-from repro.harness.runner import RunResult, _execute_workload
-from repro.harness.spec import (ExperimentSpec, RunSpec, get_experiment,
-                                scheme_to_str)
+from repro.harness.runner import RunResult, execute_workload
+from repro.harness.spec import (ExperimentSpec, RunSpec, check_schema,
+                                get_experiment, scheme_to_str,
+                                stamp_schema)
 from repro.runtime.program import Workload
 from repro.sim.kernel import SimulationError
 
@@ -68,15 +69,19 @@ class FailedRun:
     seeds_tried: list[int] = field(default_factory=list)
 
     def to_dict(self) -> dict:
-        return {"workload": self.workload, "scheme": self.scheme,
-                "num_cpus": self.num_cpus, "seed": self.seed,
-                "fingerprint": self.fingerprint, "error": self.error,
-                "message": self.message, "attempts": self.attempts,
-                "seeds_tried": list(self.seeds_tried)}
+        return stamp_schema(
+            {"workload": self.workload, "scheme": self.scheme,
+             "num_cpus": self.num_cpus, "seed": self.seed,
+             "fingerprint": self.fingerprint, "error": self.error,
+             "message": self.message, "attempts": self.attempts,
+             "seeds_tried": list(self.seeds_tried)})
 
     @classmethod
     def from_dict(cls, data: dict) -> "FailedRun":
-        return cls(**data)
+        check_schema(data, "FailedRun")
+        fields_ = {key: value for key, value in data.items()
+                   if key != "schema"}
+        return cls(**fields_)
 
 
 @dataclass
@@ -136,8 +141,8 @@ def _wall_clock_limit(seconds: Optional[float]):
 
 def _simulate(spec: RunSpec) -> RunResult:
     """Build and run one spec (fresh workload, fresh machine)."""
-    return _execute_workload(spec.build_workload(), spec.config,
-                             validate=spec.validate)
+    return execute_workload(spec.build_workload(), spec.config,
+                            validate=spec.validate)
 
 
 def _execute_with_retries(spec_dict: dict, timeout: Optional[float],
@@ -206,6 +211,94 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+class WorkerPool:
+    """A persistent multiprocessing pool reusable across engine calls.
+
+    The sweep engine normally forks a fresh pool per :func:`execute`
+    call, which is fine for one-shot sweeps but wasteful for an
+    always-on service running many jobs.  A ``WorkerPool`` keeps the
+    worker processes alive; install it for a region of code with
+    :func:`use_engine` and every engine call inside (including those
+    made by experiment functions and the verifier) shards its cells
+    across the shared workers.  ``Pool.imap`` is safe to call from
+    several service threads concurrently -- each call gets its own
+    result iterator.
+    """
+
+    def __init__(self, processes: Optional[int] = None):
+        self.processes = processes or multiprocessing.cpu_count()
+        self._pool = _pool_context().Pool(processes=self.processes)
+
+    def imap(self, fn, iterable):
+        return self._pool.imap(fn, iterable)
+
+    def close(self) -> None:
+        self._pool.terminate()
+        self._pool.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _EngineContext(threading.local):
+    """Per-thread ambient engine state (persistent pool, progress tap).
+
+    Thread-local so concurrent service threads can run jobs with
+    independent progress hooks while sharing one :class:`WorkerPool`
+    object (each thread installs the same pool into its own context).
+    """
+
+    pool: Optional[WorkerPool] = None
+    progress: Optional["ProgressCallback"] = None
+
+
+_ENGINE = _EngineContext()
+
+
+@contextmanager
+def use_engine(pool: Optional[WorkerPool] = None, progress=None):
+    """Install a persistent :class:`WorkerPool` and/or a progress tap
+    for every engine call made inside the ``with`` body (including
+    calls buried in experiment functions and the verifier, which do not
+    take these arguments directly)."""
+    previous = (_ENGINE.pool, _ENGINE.progress)
+    _ENGINE.pool = pool if pool is not None else _ENGINE.pool
+    _ENGINE.progress = progress if progress is not None else _ENGINE.progress
+    try:
+        yield
+    finally:
+        _ENGINE.pool, _ENGINE.progress = previous
+
+
+def ambient_progress():
+    """The progress tap installed by :func:`use_engine`, if any."""
+    return _ENGINE.progress
+
+
+def map_payloads(worker, payloads: Sequence, jobs: int):
+    """Yield ``worker(payload)`` for each payload, in order.
+
+    Serial in-process when ``jobs <= 1`` or there is a single payload
+    (the determinism baseline); otherwise through the ambient
+    :class:`WorkerPool` if one is installed, else a fresh fork pool.
+    Shared by the sweep engine and the verifier so both honour the
+    service's persistent pool.
+    """
+    if jobs <= 1 or len(payloads) == 1:
+        for payload in payloads:
+            yield worker(payload)
+        return
+    if _ENGINE.pool is not None:
+        yield from _ENGINE.pool.imap(worker, payloads)
+        return
+    ctx = _pool_context()
+    with ctx.Pool(processes=min(jobs, len(payloads))) as pool:
+        yield from pool.imap(worker, payloads)
+
+
 def execute(specs: Sequence[RunSpec], *,
             jobs: Optional[int] = 1,
             timeout: Optional[float] = None,
@@ -233,6 +326,11 @@ def execute(specs: Sequence[RunSpec], *,
     outcomes: list[Optional[Outcome]] = [None] * len(specs)
     fingerprints = [spec.fingerprint() for spec in specs]
     done = 0
+    taps = [tap for tap in (progress, ambient_progress()) if tap is not None]
+
+    def _notify(count: int, total: int, outcome: Outcome) -> None:
+        for tap in taps:
+            tap(count, total, outcome)
 
     # Cache pass: reconstruct whatever is already on disk.
     pending: list[int] = []
@@ -247,8 +345,7 @@ def execute(specs: Sequence[RunSpec], *,
             else:
                 telemetry.cache_hits += 1
                 done += 1
-                if progress is not None:
-                    progress(done, len(specs), outcomes[i])
+                _notify(done, len(specs), outcomes[i])
                 continue
         pending.append(i)
 
@@ -270,21 +367,13 @@ def execute(specs: Sequence[RunSpec], *,
             outcomes[index] = FailedRun.from_dict(raw["failed"])
             telemetry.failures += 1
         done += 1
-        if progress is not None:
-            progress(done, len(specs), outcomes[index])
+        _notify(done, len(specs), outcomes[index])
 
     payloads = [(specs[i].to_dict(), timeout, retries, seed_bump)
                 for i in pending]
-    if pending:
-        if jobs <= 1 or len(pending) == 1:
-            for index, payload in zip(pending, payloads):
-                _absorb(index, _worker_execute(payload))
-        else:
-            ctx = _pool_context()
-            with ctx.Pool(processes=min(jobs, len(pending))) as pool:
-                for index, raw in zip(pending,
-                                      pool.imap(_worker_execute, payloads)):
-                    _absorb(index, raw)
+    for index, raw in zip(pending,
+                          map_payloads(_worker_execute, payloads, jobs)):
+        _absorb(index, raw)
 
     telemetry.wall_seconds = time.perf_counter() - started
     return list(outcomes), telemetry  # every slot is filled by now
@@ -322,7 +411,7 @@ def run(spec, config: Optional[SystemConfig] = None, *,
     """
     if isinstance(spec, Workload):
         base = config or SystemConfig()
-        return _execute_workload(spec, base, validate=validate)
+        return execute_workload(spec, base, validate=validate)
     if isinstance(spec, RunSpec):
         if not validate:
             spec = replace(spec, validate=False)

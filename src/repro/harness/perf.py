@@ -39,7 +39,7 @@ from typing import Optional, Union
 from repro.harness.config import SyncScheme, SystemConfig
 from repro.harness.machine import Machine
 from repro.harness.runner import RunResult, result_fingerprint
-from repro.harness.spec import RunSpec
+from repro.harness.spec import RunSpec, stamp_schema
 
 ARTIFACT_NAME = "BENCH_perf.json"
 
@@ -123,7 +123,7 @@ def run_perf(quick: bool = False, repeats: int = 3,
     total_start = time.perf_counter()
     results = {name: measure_spec(spec, repeats=repeats)
                for name, spec in specs.items()}
-    payload = {
+    payload = stamp_schema({
         "bench": "perf",
         "config": {
             "quick": quick,
@@ -132,7 +132,7 @@ def run_perf(quick: bool = False, repeats: int = 3,
         },
         "results": results,
         "wall_seconds": round(time.perf_counter() - total_start, 3),
-    }
+    })
     if baseline is not None:
         base_results = baseline.get("results", {})
         speedups = {}

@@ -1,35 +1,30 @@
-"""Single-run execution and the legacy runner shims.
+"""Single-run execution: where a workload meets a machine.
 
-:func:`_execute_workload` is the one place a workload meets a machine;
-everything else -- the unified API :func:`repro.harness.run`, the
-parallel sweep engine, and the deprecated shims below -- routes through
-it.
-
-.. deprecated::
-    :func:`run`, :func:`run_scheme` and :func:`compare_schemes` are kept
-    as thin shims for older examples/tests.  New code should use
-    ``repro.harness.run(spec, *, jobs=..., timeout=..., cache=...,
-    validate=...)`` with a :class:`~repro.harness.spec.RunSpec` or a
-    registered experiment name (see :mod:`repro.harness.spec`).
+:func:`execute_workload` is the one low-level entry point -- everything
+else (the unified API :func:`repro.harness.run`, the parallel sweep
+engine, the job-queue service) routes through it.  The old per-style
+shims (``run``, ``run_scheme``, ``compare_schemes``) are gone; use
+``repro.harness.run(spec, *, jobs=..., timeout=..., cache=...,
+validate=...)`` with a :class:`~repro.harness.spec.RunSpec`, a raw
+:class:`~repro.runtime.program.Workload`, or a registered experiment
+name (see :mod:`repro.harness.spec`).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import warnings
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional
+from typing import Optional
 
 from repro.coherence.memory import ValueStore
-from repro.harness.config import SyncScheme, SystemConfig
+from repro.harness.config import SystemConfig
 from repro.harness.machine import Machine
-from repro.harness.spec import config_from_dict, config_to_dict
+from repro.harness.spec import (check_schema, config_from_dict,
+                                config_to_dict, stamp_schema)
 from repro.obs import MachineMetrics
 from repro.runtime.program import Workload
 from repro.sim.stats import SimStats
-
-WorkloadBuilder = Callable[[], Workload]
 
 
 @dataclass
@@ -66,9 +61,9 @@ class RunResult:
         return other.cycles / self.cycles
 
     # -- serialization (stable public contract; used by the result
-    # cache, the worker boundary, and ``--json``) ----------------------
+    # cache, the worker boundary, HTTP transport and ``--json``) --------
     def to_dict(self) -> dict:
-        return {
+        return stamp_schema({
             "workload_name": self.workload_name,
             "config": config_to_dict(self.config),
             "stats": self.stats.to_dict(),
@@ -77,10 +72,11 @@ class RunResult:
             "seed_used": self.seed_used,
             "attempts": self.attempts,
             "metrics": self.metrics,
-        }
+        })
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunResult":
+        check_schema(data, "RunResult")
         store = ValueStore()
         for addr, value in (data.get("store") or {}).items():
             store.write(int(addr), value)
@@ -109,10 +105,9 @@ def result_fingerprint(result: RunResult) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def _execute_workload(workload: Workload, config: SystemConfig,
-                      validate: bool = True) -> RunResult:
-    """Execute ``workload`` on a freshly built machine (no deprecation
-    warning -- this is the internal core the new API calls)."""
+def execute_workload(workload: Workload, config: SystemConfig,
+                     validate: bool = True) -> RunResult:
+    """Execute ``workload`` on a freshly built machine."""
     machine = Machine(config)
     collector = MachineMetrics().attach(machine) if config.metrics else None
     stats = machine.run_workload(workload, validate=validate)
@@ -120,40 +115,3 @@ def _execute_workload(workload: Workload, config: SystemConfig,
                      stats=stats, store=machine.store,
                      metrics=(collector.finalize(machine)
                               if collector is not None else None))
-
-
-def _deprecated(name: str) -> None:
-    warnings.warn(
-        f"repro.harness.runner.{name} is deprecated; use "
-        "repro.harness.run(spec, *, jobs=..., timeout=..., cache=..., "
-        "validate=...) instead", DeprecationWarning, stacklevel=3)
-
-
-def run(workload: Workload, config: SystemConfig,
-        validate: bool = True) -> RunResult:
-    """Deprecated shim: execute ``workload`` on a freshly built machine."""
-    _deprecated("run")
-    return _execute_workload(workload, config, validate=validate)
-
-
-def run_scheme(builder: WorkloadBuilder, scheme: SyncScheme,
-               config: Optional[SystemConfig] = None,
-               validate: bool = True) -> RunResult:
-    """Deprecated shim: build a fresh workload and run it under
-    ``scheme``."""
-    _deprecated("run_scheme")
-    base = config or SystemConfig()
-    return _execute_workload(builder(), base.with_scheme(scheme),
-                             validate=validate)
-
-
-def compare_schemes(builder: WorkloadBuilder,
-                    schemes: Iterable[SyncScheme],
-                    config: Optional[SystemConfig] = None,
-                    validate: bool = True) -> dict[SyncScheme, RunResult]:
-    """Deprecated shim: run the same benchmark under several schemes."""
-    _deprecated("compare_schemes")
-    base = config or SystemConfig()
-    return {scheme: _execute_workload(builder(), base.with_scheme(scheme),
-                                      validate=validate)
-            for scheme in schemes}

@@ -38,7 +38,51 @@ from repro.workloads.microbench import (linked_list, multiple_counter,
 #     (repro.policies).
 # v4: RunResult grew ``metrics`` (repro.obs); cached pre-v4 payloads would
 #     silently come back without telemetry.
-FINGERPRINT_VERSION = 4
+# v5: every result ``to_dict`` is schema-stamped (``"schema"`` field,
+#     checked by ``from_dict``); pre-v5 payloads lack the stamp.
+FINGERPRINT_VERSION = 5
+
+
+# ----------------------------------------------------------------------
+# Result-payload schema stamping
+# ----------------------------------------------------------------------
+#: Version of every result ``to_dict`` payload (RunResult, SweepResult,
+#: AppResult, VerifyResult, PolicyGridResult, perf payloads, JobResult).
+#: The v4 fingerprint bump documents the hazard this solves: a cached or
+#: HTTP-transported payload whose schema silently drifted used to come
+#: back with fields quietly dropped.  Now every payload carries an
+#: explicit ``"schema"`` field and ``from_dict`` fails loudly on a
+#: missing or unknown version.
+RESULT_SCHEMA = 1
+
+
+class SchemaError(ValueError):
+    """A serialized payload carries a missing or incompatible schema."""
+
+
+def stamp_schema(payload: dict) -> dict:
+    """Stamp ``payload`` (in place) with the current result schema."""
+    payload["schema"] = RESULT_SCHEMA
+    return payload
+
+
+def check_schema(data: dict, what: str) -> dict:
+    """Validate the ``"schema"`` stamp of a payload being deserialized.
+
+    Raises :class:`SchemaError` (a :class:`ValueError`, so cache readers
+    that treat undecodable entries as misses keep working) when the
+    stamp is absent or names a version this code does not speak.
+    """
+    version = data.get("schema")
+    if version is None:
+        raise SchemaError(
+            f"{what} payload has no 'schema' field (pre-v{RESULT_SCHEMA} "
+            f"or hand-built dict); refusing to deserialize silently")
+    if version != RESULT_SCHEMA:
+        raise SchemaError(
+            f"{what} payload has schema v{version}, this code speaks "
+            f"v{RESULT_SCHEMA}; refusing to drop fields silently")
+    return data
 
 
 def _mp3d_coarse(num_threads: int, **kwargs) -> Workload:
@@ -168,6 +212,121 @@ class RunSpec:
             "workload": self.workload,
             "workload_args": self.workload_args,
             "config": config_to_dict(self.config),
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# JobSpec: the unified job envelope
+# ----------------------------------------------------------------------
+#: Version of the JobSpec envelope itself (the ``kind``/``params``
+#: contract), independent of :data:`RESULT_SCHEMA` (what results look
+#: like) and :data:`FINGERPRINT_VERSION` (what simulations compute).
+JOBSPEC_SCHEMA = 1
+
+#: The kinds of work a job can describe.  ``run`` wraps one
+#: :class:`RunSpec`; ``sweep`` names a registered experiment plus its
+#: parameters (covers the figure/table sweeps and the policy grid);
+#: ``verify`` is the verification suite; ``perf`` a throughput
+#: measurement.
+JOB_KINDS = ("run", "sweep", "verify", "perf")
+
+
+@dataclass
+class JobSpec:
+    """One unit of work -- run, sweep, verify or perf -- as a single
+    serializable, fingerprintable envelope.
+
+    This is the API the CLI and the ``repro serve`` HTTP service share:
+    both build a ``JobSpec`` and hand it to
+    :func:`repro.harness.jobs.submit`, so "two transports, one API".
+    ``params`` must be JSON-serializable (configs travel as
+    :func:`config_to_dict` images); :meth:`fingerprint` is the dedup
+    key for both in-flight coalescing and the completed-job cache.
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown job kind {self.kind!r}; known: {JOB_KINDS}")
+        if not isinstance(self.params, dict):
+            raise TypeError(
+                f"JobSpec params must be a dict, got "
+                f"{type(self.params).__name__}")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def run(cls, spec: "RunSpec") -> "JobSpec":
+        """Wrap one :class:`RunSpec` as a job."""
+        return cls(kind="run", params=spec.to_dict())
+
+    @classmethod
+    def sweep(cls, experiment: str, **params) -> "JobSpec":
+        """A registered experiment (``"figure9"``, ``"policies"``, ...)
+        plus its keyword parameters.  A ``config`` parameter may be a
+        :class:`~repro.harness.config.SystemConfig` (serialized here)
+        or an already-serialized dict."""
+        if isinstance(params.get("config"), SystemConfig):
+            params["config"] = config_to_dict(params["config"])
+        return cls(kind="sweep", params={"experiment": experiment, **params})
+
+    @classmethod
+    def verify(cls, **params) -> "JobSpec":
+        """A verification-suite job (see
+        :func:`repro.harness.experiments.verify`).  ``scheme`` may be a
+        :class:`~repro.harness.config.SyncScheme` (serialized here)."""
+        if isinstance(params.get("scheme"), SyncScheme):
+            params["scheme"] = scheme_to_str(params["scheme"])
+        return cls(kind="verify", params=params)
+
+    @classmethod
+    def perf(cls, **params) -> "JobSpec":
+        """A throughput-measurement job (see
+        :func:`repro.harness.perf.run_perf`)."""
+        return cls(kind="perf", params=params)
+
+    # -- properties -----------------------------------------------------
+    @property
+    def cacheable(self) -> bool:
+        """Whether a completed result may be replayed for an identical
+        later submission.  Perf jobs measure the machine they run on,
+        not a deterministic outcome, so they are never replayed."""
+        return self.kind != "perf"
+
+    def run_spec(self) -> "RunSpec":
+        """The wrapped :class:`RunSpec` (``kind == "run"`` only)."""
+        if self.kind != "run":
+            raise ValueError(f"job kind {self.kind!r} wraps no RunSpec")
+        return RunSpec.from_dict(self.params)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"schema": JOBSPEC_SCHEMA,
+                "kind": self.kind,
+                "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        version = data.get("schema", JOBSPEC_SCHEMA)
+        if version != JOBSPEC_SCHEMA:
+            raise SchemaError(
+                f"JobSpec payload has schema v{version}, this code "
+                f"speaks v{JOBSPEC_SCHEMA}")
+        return cls(kind=data["kind"], params=dict(data.get("params") or {}))
+
+    def fingerprint(self) -> str:
+        """Deterministic digest of everything that determines the job's
+        outcome: the envelope schema, the simulator fingerprint version,
+        the kind and the canonicalized parameters."""
+        payload = {
+            "jobspec": JOBSPEC_SCHEMA,
+            "v": FINGERPRINT_VERSION,
+            "kind": self.kind,
+            "params": self.params,
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

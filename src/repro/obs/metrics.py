@@ -159,9 +159,17 @@ class MetricsRegistry:
                            for name, h in sorted(self.histograms.items())},
         }
 
-    def to_openmetrics(self) -> str:
-        """The registry in OpenMetrics text exposition format."""
-        return openmetrics_from_dict(self.to_dict())
+    def to_openmetrics(self, meta: Optional[dict] = None) -> str:
+        """The registry in OpenMetrics text exposition format.
+
+        ``meta`` labels (service name, schema versions, ...) are
+        rendered as a ``target_info`` sample, matching what
+        :meth:`~repro.obs.collect.MachineMetrics.finalize` payloads
+        carry in their ``meta`` section."""
+        payload = self.to_dict()
+        if meta:
+            payload["meta"] = dict(meta)
+        return openmetrics_from_dict(payload)
 
 
 def _om_name(name: str) -> str:

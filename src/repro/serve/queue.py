@@ -1,0 +1,255 @@
+"""Job lifecycle: queueing, in-flight coalescing, worker threads.
+
+A :class:`JobQueue` owns a bounded set of worker *threads* (each
+running one job at a time through :func:`repro.harness.jobs.submit`)
+and, when engine parallelism is requested, one persistent
+:class:`~repro.harness.parallel.WorkerPool` of *processes* shared by
+every job -- the pool survives across jobs, so the service never pays
+fork/teardown per submission.
+
+Dedup happens at two distinct moments:
+
+* **in flight** -- ``submit()`` under the queue lock: a second
+  submission whose fingerprint is already queued or running returns
+  the *same* :class:`Job` (coalesced; one execution, many watchers);
+* **completed** -- inside :func:`repro.harness.jobs.submit`: a job
+  whose fingerprint completed earlier (any process, any transport)
+  replays its stored :class:`~repro.harness.jobs.JobResult` from the
+  result cache without simulating anything.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as queue_module
+import threading
+import time
+from typing import Iterator, Optional
+
+from repro.harness.cache import resolve_cache
+from repro.harness.jobs import JobResult, submit
+from repro.harness.parallel import WorkerPool
+from repro.harness.spec import JobSpec
+from repro.obs.metrics import MetricsRegistry
+
+#: States a job can be observed in; the last two are terminal.
+JOB_STATES = ("queued", "running", "done", "failed")
+TERMINAL_STATES = ("done", "failed")
+
+
+class Job:
+    """One submitted job and everything observable about it."""
+
+    def __init__(self, job_id: str, spec: JobSpec, fingerprint: str):
+        self.id = job_id
+        self.spec = spec
+        self.fingerprint = fingerprint
+        self.state = "queued"
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.progress = {"done": 0, "total": 0}
+        self.result: Optional[JobResult] = None
+        self.error: Optional[str] = None
+        #: Event log for SSE subscribers (and late joiners, who replay
+        #: it from the start).
+        self.events: list[dict] = []
+        #: How many submissions this job absorbed beyond the first.
+        self.coalesced = 0
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self, include_result: bool = True) -> dict:
+        data = {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "fingerprint": self.fingerprint,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "progress": dict(self.progress),
+            "coalesced": self.coalesced,
+            "error": self.error,
+        }
+        if include_result and self.result is not None:
+            data["result"] = self.result.to_dict()
+        return data
+
+
+class JobQueue:
+    """FIFO job queue with coalescing, worker threads and metrics.
+
+    ``workers`` threads drain the queue concurrently (several *jobs* in
+    flight); ``jobs`` is the engine parallelism *within* one job --
+    when > 1 a persistent :class:`WorkerPool` of that many processes is
+    created and shared by all workers.  ``start=False`` leaves the
+    workers unstarted so tests can assert queue state (e.g. coalescing)
+    before anything executes; call :meth:`start` to begin draining.
+    """
+
+    def __init__(self, *, workers: int = 2, jobs: int = 1,
+                 cache=True, timeout: Optional[float] = None,
+                 retries: Optional[int] = None, start: bool = True):
+        self.workers = max(1, workers)
+        self.jobs = max(1, jobs or 1)
+        self.cache = resolve_cache(cache)
+        self.timeout = timeout
+        self.retries = retries
+        self.pool = WorkerPool(processes=self.jobs) if self.jobs > 1 else None
+        self.metrics = MetricsRegistry()
+        self._cond = threading.Condition()
+        self._jobs: dict[str, Job] = {}
+        self._inflight: dict[str, str] = {}  # fingerprint -> job id
+        self._pending: queue_module.Queue = queue_module.Queue()
+        self._ids = itertools.count(1)
+        self._threads: list[threading.Thread] = []
+        self._stopped = False
+        if start:
+            self.start()
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Start the worker threads (idempotent)."""
+        if self._threads:
+            return
+        for i in range(self.workers):
+            thread = threading.Thread(target=self._worker,
+                                      name=f"serve-worker-{i}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        """Drain-free shutdown: stop workers after their current job,
+        close the process pool, persist cache hit/miss counters."""
+        with self._cond:
+            if self._stopped:
+                return
+            self._stopped = True
+        self._pending.put(None)  # each worker re-posts it for the next
+        for thread in self._threads:
+            thread.join(timeout=30)
+        if self.pool is not None:
+            self.pool.close()
+        if self.cache is not None:
+            self.cache.persist_counters()
+
+    # -- submission -----------------------------------------------------
+    def submit(self, spec: JobSpec) -> tuple[Job, bool]:
+        """Enqueue ``spec``; returns ``(job, coalesced)``.
+
+        ``coalesced`` is true when an identical job (same fingerprint)
+        was already queued or running, in which case the existing job is
+        returned and nothing new is enqueued.
+        """
+        fingerprint = spec.fingerprint()
+        with self._cond:
+            self.metrics.counter("serve.jobs.submitted").inc()
+            existing = self._inflight.get(fingerprint)
+            if existing is not None:
+                job = self._jobs[existing]
+                job.coalesced += 1
+                self.metrics.counter("serve.jobs.coalesced").inc()
+                return job, True
+            job = Job(f"j{next(self._ids):06d}", spec, fingerprint)
+            self._jobs[job.id] = job
+            self._inflight[fingerprint] = job.id
+            self._emit(job, "queued", {"id": job.id, "kind": spec.kind})
+        self._pending.put(job.id)
+        return job, False
+
+    # -- observation ----------------------------------------------------
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._cond:
+            return self._jobs.get(job_id)
+
+    def list_jobs(self) -> list[Job]:
+        with self._cond:
+            return list(self._jobs.values())
+
+    def wait(self, job_id: str,
+             timeout: Optional[float] = None) -> Optional[Job]:
+        """Block until ``job_id`` reaches a terminal state."""
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            self._cond.wait_for(lambda: job.terminal, timeout=timeout)
+            return job
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Yield ``job_id``'s events from the beginning, live until the
+        job reaches a terminal state (SSE backing iterator)."""
+        index = 0
+        while True:
+            with self._cond:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    return
+                self._cond.wait_for(
+                    lambda: len(job.events) > index or job.terminal,
+                    timeout=30)
+                fresh = job.events[index:]
+                index = len(job.events)
+                finished = job.terminal and not fresh
+            yield from fresh
+            if finished:
+                return
+            if not fresh:  # timed out idle; re-check for liveness
+                continue
+
+    # -- internals ------------------------------------------------------
+    def _emit(self, job: Job, event: str, data: dict) -> None:
+        """Append an event and wake watchers.  Caller holds the lock."""
+        job.events.append({"event": event, "data": data})
+        self._cond.notify_all()
+
+    def _worker(self) -> None:
+        while True:
+            job_id = self._pending.get()
+            if job_id is None:
+                self._pending.put(None)  # wake the next worker too
+                return
+            self._run_job(self._jobs[job_id])
+
+    def _run_job(self, job: Job) -> None:
+        with self._cond:
+            job.state = "running"
+            job.started_at = time.time()
+            self._emit(job, "running", {"id": job.id})
+
+        def tap(done: int, total: int, outcome) -> None:
+            with self._cond:
+                job.progress = {"done": done, "total": total}
+                self.metrics.counter("serve.cells.completed").inc()
+                self._emit(job, "progress", {"done": done, "total": total})
+
+        try:
+            result = submit(job.spec, jobs=self.jobs, timeout=self.timeout,
+                            cache=self.cache, retries=self.retries,
+                            pool=self.pool, progress=tap)
+        except Exception as exc:  # a failed job must not kill its worker
+            with self._cond:
+                job.state = "failed"
+                job.finished_at = time.time()
+                job.error = f"{type(exc).__name__}: {exc}"
+                self._inflight.pop(job.fingerprint, None)
+                self.metrics.counter("serve.jobs.failed").inc()
+                self._emit(job, "failed", {"error": job.error})
+            return
+        with self._cond:
+            job.result = result
+            job.state = "done"
+            job.finished_at = time.time()
+            self._inflight.pop(job.fingerprint, None)
+            self.metrics.counter("serve.jobs.completed").inc()
+            if result.cached:
+                self.metrics.counter("serve.jobs.replayed").inc()
+            simulated = (result.telemetry or {}).get("simulated", 0)
+            if simulated:
+                self.metrics.counter("serve.cells.simulated").inc(simulated)
+            self._emit(job, "done",
+                       {"id": job.id, "cached": result.cached,
+                        "elapsed": result.elapsed})

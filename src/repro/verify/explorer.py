@@ -23,8 +23,10 @@ from typing import Optional, Sequence
 
 from repro.harness.cache import resolve_cache
 from repro.harness.machine import Machine
-from repro.harness.parallel import _pool_context, _wall_clock_limit
-from repro.harness.spec import SIZE_PARAM, RunSpec, scheme_to_str
+from repro.harness.parallel import (_wall_clock_limit, ambient_progress,
+                                    map_payloads)
+from repro.harness.spec import (SIZE_PARAM, RunSpec, check_schema,
+                                scheme_to_str, stamp_schema)
 from repro.obs import MachineMetrics
 from repro.runtime.program import ValidationError
 from repro.sim.kernel import SimulationError
@@ -39,7 +41,9 @@ from repro.verify.recorder import FootprintRecorder
 #     contention-policy aware (repro.policies).
 # v3: VerifyResult grew ``metrics`` (repro.obs conflict telemetry);
 #     cached pre-v3 verdicts would come back without it.
-VERIFY_FINGERPRINT_VERSION = 3
+# v4: verdict payloads are schema-stamped (``"schema"`` field, checked
+#     by ``from_dict``); pre-v4 cached verdicts lack the stamp.
+VERIFY_FINGERPRINT_VERSION = 4
 
 #: Cycles of trace to render before/after the first violation.
 TRACE_WINDOW_BEFORE = 2_000
@@ -88,17 +92,19 @@ class VerifyResult:
     metrics: Optional[dict] = None
 
     def to_dict(self) -> dict:
-        return {"workload": self.workload, "scheme": self.scheme,
-                "num_cpus": self.num_cpus, "seed": self.seed,
-                "ok": self.ok, "error": self.error,
-                "violations": list(self.violations),
-                "num_txns": self.num_txns, "edges": dict(self.edges),
-                "elapsed": self.elapsed, "cycles": self.cycles,
-                "summary": dict(self.summary),
-                "metrics": self.metrics}
+        return stamp_schema({
+            "workload": self.workload, "scheme": self.scheme,
+            "num_cpus": self.num_cpus, "seed": self.seed,
+            "ok": self.ok, "error": self.error,
+            "violations": list(self.violations),
+            "num_txns": self.num_txns, "edges": dict(self.edges),
+            "elapsed": self.elapsed, "cycles": self.cycles,
+            "summary": dict(self.summary),
+            "metrics": self.metrics})
 
     @classmethod
     def from_dict(cls, data: dict) -> "VerifyResult":
+        check_schema(data, "VerifyResult")
         return cls(workload=data["workload"], scheme=data["scheme"],
                    num_cpus=data["num_cpus"], seed=data["seed"],
                    ok=data["ok"], error=data.get("error"),
@@ -282,6 +288,12 @@ def verify_specs(specs: Sequence[RunSpec], *,
     results: list[Optional[VerifyResult]] = [None] * len(specs)
     cache_hits = 0
     done = 0
+    taps = [tap for tap in (progress, ambient_progress())
+            if tap is not None]
+
+    def _notify(count: int, total: int, result: VerifyResult) -> None:
+        for tap in taps:
+            tap(count, total, result)
 
     pending: list[int] = []
     for i, s in enumerate(specs):
@@ -294,8 +306,7 @@ def verify_specs(specs: Sequence[RunSpec], *,
             else:
                 cache_hits += 1
                 done += 1
-                if progress is not None:
-                    progress(done, len(specs), results[i])
+                _notify(done, len(specs), results[i])
                 continue
         pending.append(i)
 
@@ -306,21 +317,13 @@ def verify_specs(specs: Sequence[RunSpec], *,
             store.put(fingerprints[index],
                       {"spec": specs[index].to_dict(), "verdict": raw})
         done += 1
-        if progress is not None:
-            progress(done, len(specs), results[index])
+        _notify(done, len(specs), results[index])
 
     payloads = [(specs[i].to_dict(), options.to_dict(), timeout)
                 for i in pending]
-    if pending:
-        if jobs <= 1 or len(pending) == 1:
-            for index, payload in zip(pending, payloads):
-                _absorb(index, _verify_worker(payload))
-        else:
-            ctx = _pool_context()
-            with ctx.Pool(processes=min(jobs, len(pending))) as pool:
-                for index, raw in zip(pending,
-                                      pool.imap(_verify_worker, payloads)):
-                    _absorb(index, raw)
+    for index, raw in zip(pending,
+                          map_payloads(_verify_worker, payloads, jobs)):
+        _absorb(index, raw)
 
     return list(results), cache_hits
 
@@ -481,7 +484,7 @@ class VerifySuiteResult:
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
-        return {
+        return stamp_schema({
             "ok": self.ok,
             "workloads": {
                 name: {"ok": e.ok,
@@ -496,7 +499,7 @@ class VerifySuiteResult:
                 "result": self.shrunk.result.to_dict(),
                 "trace": self.shrunk.trace,
                 "shrink_steps": self.shrunk.shrink_steps},
-        }
+        })
 
 
 def verify_suite(workloads: Sequence[str] = DEFAULT_VERIFY_WORKLOADS, *,

@@ -4,7 +4,7 @@ unordered network -- everything must still serialize."""
 import pytest
 
 from repro.harness.config import SyncScheme, SystemConfig
-from repro.harness.runner import run
+from repro.harness.parallel import run
 from repro.workloads.generator import WorkloadSpec, generate
 from repro.workloads.microbench import (linked_list, multiple_counter,
                                         single_counter)

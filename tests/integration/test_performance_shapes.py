@@ -8,7 +8,7 @@ who wins, roughly where, and which mechanisms fire.
 import pytest
 
 from repro.harness.config import SyncScheme, SystemConfig
-from repro.harness.runner import compare_schemes
+from repro.harness.runner import execute_workload
 from repro.workloads.apps import mp3d, radiosity, water_nsq
 from repro.workloads.microbench import (linked_list, multiple_counter,
                                         single_counter)
@@ -19,8 +19,9 @@ def _cfg(num_cpus):
 
 
 def _cycles(builder, schemes, num_cpus):
-    results = compare_schemes(builder, schemes, _cfg(num_cpus))
-    return {scheme: result.cycles for scheme, result in results.items()}
+    return {scheme: execute_workload(
+                builder(), _cfg(num_cpus).with_scheme(scheme)).cycles
+            for scheme in schemes}
 
 
 class TestFigure8Shape:

@@ -23,7 +23,7 @@ import pytest
 
 from repro.harness.config import SpeculationConfig, SyncScheme, SystemConfig
 from repro.harness.machine import Machine
-from repro.harness.runner import _execute_workload, result_fingerprint
+from repro.harness.runner import execute_workload, result_fingerprint
 from repro.harness.spec import RunSpec
 from repro.policies import POLICY_NAMES, PolicyDecision
 from repro.policies.timestamp import TimestampDeferral
@@ -64,7 +64,7 @@ BUILDERS = {"single-counter": single_counter, "linked-list": linked_list}
 def test_default_policy_matches_pre_refactor_goldens():
     for (name, seed), want in GOLDEN_DEFAULT.items():
         cfg = SystemConfig(num_cpus=4, scheme=SyncScheme.TLR, seed=seed)
-        result = _execute_workload(BUILDERS[name](4, 96), cfg)
+        result = execute_workload(BUILDERS[name](4, 96), cfg)
         assert result_fingerprint(result) == want, (
             f"{name}/seed{seed}: the timestamp policy diverged from the "
             f"pre-refactor controller")
@@ -75,7 +75,7 @@ def test_legacy_nack_spelling_matches_pre_refactor_goldens():
         cfg = SystemConfig(num_cpus=4, scheme=SyncScheme.TLR, seed=seed,
                            spec=SpeculationConfig(retention_policy="nack"))
         assert cfg.spec.contention_policy == "nack"
-        result = _execute_workload(single_counter(4, 96), cfg)
+        result = execute_workload(single_counter(4, 96), cfg)
         assert result_fingerprint(result) == want, (
             f"seed{seed}: legacy retention_policy='nack' diverged")
 
@@ -109,12 +109,12 @@ def test_bounded_policies_finish_the_livelock_workload():
     for policy in POLICY_NAMES:
         cfg = SystemConfig(num_cpus=4, scheme=SyncScheme.TLR).with_policy(
             policy)  # requester-wins keeps its default lock fallback
-        result = _execute_workload(
+        result = execute_workload(
             single_counter(4, total_increments=64, think_cycles=200), cfg)
         assert result.stats is not None, policy
     # The fallback is what saved requester-wins: the same workload with
     # fallback_k=4 completes with real lock acquisitions.
-    result = _execute_workload(
+    result = execute_workload(
         single_counter(4, total_increments=64, think_cycles=200),
         SystemConfig(num_cpus=4, scheme=SyncScheme.TLR).with_policy(
             "requester-wins", fallback_k=4))

@@ -9,7 +9,7 @@ functional checker simulator).
 import pytest
 
 from repro.harness.config import SyncScheme, SystemConfig
-from repro.harness.runner import run
+from repro.harness.parallel import run
 from repro.workloads.apps import ALL_APPS, mp3d
 from repro.workloads.microbench import (linked_list, multiple_counter,
                                         single_counter)

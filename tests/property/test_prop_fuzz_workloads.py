@@ -13,7 +13,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.harness.config import SyncScheme, SystemConfig
-from repro.harness.runner import run
+from repro.harness.parallel import run
 from repro.workloads.generator import WorkloadSpec, generate, random_spec
 
 

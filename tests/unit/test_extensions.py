@@ -7,7 +7,7 @@ import pytest
 
 from repro.harness.config import SyncScheme, SpeculationConfig, SystemConfig
 from repro.harness.machine import Machine
-from repro.harness.runner import run
+from repro.harness.parallel import run
 from repro.runtime.program import Workload
 from repro.sim.trace import Tracer
 from repro.workloads.common import AddressSpace

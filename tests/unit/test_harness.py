@@ -8,7 +8,8 @@ from repro.harness.experiments import (figure7_queue_on_data,
                                        figure8_multiple_counter,
                                        figure11_applications)
 from repro.harness.machine import Machine
-from repro.harness.runner import RunResult, compare_schemes, run, run_scheme
+from repro.harness.parallel import run
+from repro.harness.runner import RunResult, execute_workload
 from repro.runtime.program import ValidationError, Workload
 from repro.workloads.common import AddressSpace
 from repro.workloads.microbench import single_counter
@@ -32,16 +33,17 @@ class TestRunner:
         assert tlr.speedup_over(base) == pytest.approx(
             base.cycles / tlr.cycles)
 
-    def test_run_scheme_builds_fresh_workload(self):
-        result = run_scheme(lambda: single_counter(2, 32), SyncScheme.SLE,
-                            _tiny())
+    def test_execute_workload_honors_scheme(self):
+        result = execute_workload(single_counter(2, 32),
+                                  _tiny(SyncScheme.SLE))
         assert result.config.scheme is SyncScheme.SLE
 
-    def test_compare_schemes_covers_all(self):
-        results = compare_schemes(lambda: single_counter(2, 32),
-                                  (SyncScheme.BASE, SyncScheme.TLR),
-                                  _tiny())
+    def test_execute_workload_per_scheme(self):
+        results = {scheme: execute_workload(single_counter(2, 32),
+                                            _tiny(scheme))
+                   for scheme in (SyncScheme.BASE, SyncScheme.TLR)}
         assert set(results) == {SyncScheme.BASE, SyncScheme.TLR}
+        assert all(r.cycles > 0 for r in results.values())
 
     def test_validation_failure_raises_validation_error(self):
         space = AddressSpace()

@@ -6,7 +6,7 @@ import pytest
 
 from repro.harness.config import SyncScheme
 from repro.harness.machine import Machine
-from repro.harness.runner import (RunResult, _execute_workload,
+from repro.harness.runner import (RunResult, execute_workload,
                                   result_fingerprint)
 from repro.obs import (DEPTH_BUCKETS, Histogram, MachineMetrics,
                        MetricsRegistry, openmetrics_from_dict,
@@ -114,30 +114,30 @@ class TestObservationPurity:
         cfg_on = small_config(4, SyncScheme.TLR)
         cfg_off = small_config(4, SyncScheme.TLR)
         cfg_off.metrics = False
-        on = _execute_workload(single_counter(4, 96), cfg_on)
-        off = _execute_workload(single_counter(4, 96), cfg_off)
+        on = execute_workload(single_counter(4, 96), cfg_on)
+        off = execute_workload(single_counter(4, 96), cfg_off)
         assert result_fingerprint(on) == result_fingerprint(off)
         assert on.metrics is not None
         assert off.metrics is None
 
     def test_metrics_excluded_from_fingerprint(self):
-        result = _execute_workload(single_counter(2, 64),
+        result = execute_workload(single_counter(2, 64),
                                    small_config(2, SyncScheme.TLR))
         fingerprint = result_fingerprint(result)
         result.metrics = {"counters": {"tampered": 1}}
         assert result_fingerprint(result) == fingerprint
 
     def test_run_result_round_trips_metrics(self):
-        result = _execute_workload(single_counter(2, 64),
+        result = execute_workload(single_counter(2, 64),
                                    small_config(2, SyncScheme.TLR))
         clone = RunResult.from_dict(result.to_dict())
         assert clone.metrics == result.metrics
         assert result_fingerprint(clone) == result_fingerprint(result)
 
     def test_deterministic_across_identical_runs(self):
-        first = _execute_workload(single_counter(4, 96),
+        first = execute_workload(single_counter(4, 96),
                                   small_config(4, SyncScheme.TLR))
-        second = _execute_workload(single_counter(4, 96),
+        second = execute_workload(single_counter(4, 96),
                                    small_config(4, SyncScheme.TLR))
         assert first.metrics == second.metrics
 

@@ -184,18 +184,9 @@ class TestUnifiedRun:
         assert isinstance(result, RunResult)
 
 
-class TestDeprecatedShims:
-    def test_runner_functions_warn_but_work(self):
-        from repro.harness.runner import compare_schemes, run, run_scheme
-        cfg = SystemConfig(num_cpus=2, max_cycles=20_000_000)
-        with pytest.deprecated_call():
-            result = run(single_counter(2, 32), cfg)
-        assert result.cycles > 0
-        with pytest.deprecated_call():
-            result = run_scheme(lambda: single_counter(2, 32),
-                                SyncScheme.SLE, cfg)
-        assert result.config.scheme is SyncScheme.SLE
-        with pytest.deprecated_call():
-            results = compare_schemes(lambda: single_counter(2, 32),
-                                      (SyncScheme.BASE,), cfg)
-        assert set(results) == {SyncScheme.BASE}
+class TestShimRemoval:
+    def test_runner_exposes_only_execute_workload(self):
+        import repro.harness.runner as runner
+        assert callable(runner.execute_workload)
+        for name in ("run", "run_scheme", "compare_schemes"):
+            assert not hasattr(runner, name)

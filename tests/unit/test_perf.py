@@ -51,7 +51,7 @@ class TestMeasurement:
     def test_payload_matches_bench_schema(self, quick_payload):
         assert quick_payload["bench"] == "perf"
         assert set(quick_payload) == {"bench", "config", "results",
-                                      "wall_seconds"}
+                                      "wall_seconds", "schema"}
         assert quick_payload["config"]["quick"] is True
         json.dumps(quick_payload)  # artifact must be serializable
 

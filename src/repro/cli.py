@@ -132,6 +132,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="kernel schedule-chaos amplitude "
                                  "(0 = deterministic FIFO within a cycle)")
     verify_cmd.add_argument("--base-seed", type=int, default=0)
+    verify_cmd.add_argument("--litmus", action="store_true",
+                            help="also run the TM litmus conformance "
+                                 "scenarios (write skew, publication, "
+                                 "atomicity); each failing seed is "
+                                 "shrunk and auto-captures a record "
+                                 "log")
     verify_cmd.add_argument("--no-shrink", action="store_true",
                             help="report failing seeds without shrinking")
     verify_cmd.add_argument("--policy", type=str, default=None,
@@ -268,7 +274,45 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="telemetry rendering for --metrics: the "
                              "human table or OpenMetrics text "
                              "exposition format")
+    runner.add_argument("--record", type=str, default=None, metavar="PATH",
+                        help="capture the run's binary record log to "
+                             "PATH (always executes: recorded runs "
+                             "never replay from the cache)")
     _engine_opts(runner)
+
+    replay_cmd = sub.add_parser(
+        "replay", help="time-travel debugger over a record log: replay "
+                       "purity check by default; --seek/--line/--cpu "
+                       "answer state and history queries from the log "
+                       "alone, without re-simulating")
+    replay_cmd.add_argument("log", help="record log path (.rlog)")
+    replay_cmd.add_argument("--seek", type=int, default=None,
+                            metavar="CYCLE",
+                            help="reconstruct machine state at CYCLE")
+    replay_cmd.add_argument("--line", type=lambda t: int(t, 0),
+                            default=None, metavar="ADDR",
+                            help="history of one cache line (hex ok)")
+    replay_cmd.add_argument("--cpu", type=int, default=None,
+                            help="history of one CPU's records")
+    replay_cmd.add_argument("--since", type=int, default=0,
+                            help="history window start cycle")
+    replay_cmd.add_argument("--until", type=int, default=None,
+                            help="history window end cycle")
+    replay_cmd.add_argument("--spans", action="store_true",
+                            help="list transaction windows "
+                                 "(cpu, begin, end, outcome)")
+    replay_cmd.add_argument("--counts", action="store_true",
+                            help="histogram of record ops / tap kinds")
+    replay_cmd.add_argument("--dump", action="store_true",
+                            help="dump decoded records (respects "
+                                 "--since/--until)")
+    replay_cmd.add_argument("--diff", type=str, default=None,
+                            metavar="OTHER",
+                            help="compare against another log and "
+                                 "report the first diverging record")
+    replay_cmd.add_argument("--vcd", type=str, default=None,
+                            metavar="OUT",
+                            help="export waveform signals as VCD")
 
     sub.add_parser("list", help="list workloads and schemes")
     return parser
@@ -341,6 +385,80 @@ def _render_verify_payload(payload: dict) -> str:
                   f"seed={config.get('seed')}",
                   f"failure: {problem}", "", shrunk.get("trace", "")]
     return "\n".join(lines)
+
+
+def _do_replay(args) -> int:
+    """The ``repro replay`` subcommand: every mode except the default
+    purity check reads the log alone -- no re-simulation."""
+    from repro.record import (LogFormatError, Timeline, export_vcd,
+                              first_divergence, load_log, replay_log)
+    try:
+        with open(args.log, "rb") as fh:
+            raw = fh.read()
+        image = load_log(raw)
+    except (OSError, LogFormatError) as exc:
+        print(f"replay: {exc}", file=sys.stderr)
+        return 2
+
+    queried = False
+    timeline = Timeline(image)
+    if args.seek is not None:
+        queried = True
+        print(timeline.state_at(args.seek).render())
+    if args.line is not None:
+        queried = True
+        history = timeline.line_history(args.line, since=args.since,
+                                        until=args.until)
+        print(f"line {args.line:#x}: {len(history)} records in "
+              f"[{args.since}, {args.until if args.until is not None else timeline.final_time}]")
+        for record in history:
+            print("  " + record.render())
+    if args.cpu is not None:
+        queried = True
+        history = timeline.cpu_history(args.cpu, since=args.since,
+                                       until=args.until)
+        print(f"cpu{args.cpu}: {len(history)} records")
+        for record in history:
+            print("  " + record.render())
+    if args.spans:
+        queried = True
+        for cpu, begin, end, outcome in timeline.txn_spans():
+            print(f"cpu{cpu}: t={begin}..{end} ({outcome})")
+    if args.counts:
+        queried = True
+        for key, count in sorted(timeline.counts().items()):
+            print(f"{key:<20} {count}")
+    if args.dump:
+        queried = True
+        for record in timeline.records:
+            if record.time < args.since:
+                continue
+            if args.until is not None and record.time > args.until:
+                break
+            print(record.render())
+    if args.vcd:
+        queried = True
+        with open(args.vcd, "w") as fh:
+            changes = export_vcd(timeline, fh)
+        print(f"wrote {args.vcd} ({changes} value changes)")
+    if args.diff:
+        try:
+            other = load_log(args.diff)
+        except (OSError, LogFormatError) as exc:
+            print(f"replay: {exc}", file=sys.stderr)
+            return 2
+        divergence = first_divergence(image, other)
+        if divergence is None:
+            print("logs identical (record streams match)")
+            return 0
+        print(divergence.render())
+        return 1
+    if queried:
+        return 0
+
+    report_out = replay_log(raw)
+    print(report_out.render())
+    return 0 if report_out.ok else 1
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -420,8 +538,15 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(f"unknown policy {args.policy}; one of "
                   f"{' '.join(POLICY_NAMES)}", file=sys.stderr)
             return 2
+        workloads = args.workloads or None
+        if args.litmus:
+            from repro.verify.explorer import DEFAULT_VERIFY_WORKLOADS
+            from repro.workloads.litmus import LITMUS_WORKLOADS
+            workloads = (list(args.workloads
+                              or DEFAULT_VERIFY_WORKLOADS)
+                         + list(LITMUS_WORKLOADS))
         job = _submit(JobSpec.verify(
-            workloads=args.workloads or None,
+            workloads=workloads,
             scheme=scheme_from_str(scheme_name.replace("-", "_")),
             num_cpus=args.cpus, seeds=args.seeds, ops=args.ops,
             chaos=args.chaos, base_seed=args.base_seed,
@@ -511,6 +636,23 @@ def main(argv: Optional[list[str]] = None) -> int:
                               seed=args.seed)
         spec = RunSpec(workload=args.workload, config=config,
                        workload_args=workload_args)
+        if args.record:
+            from repro.record import record_run
+            recorded = record_run(spec)
+            with open(args.record, "wb") as fh:
+                fh.write(recorded.log)
+            outcome = recorded.result
+            print(f"{args.workload} under {scheme.value} on "
+                  f"{args.cpus} CPUs:")
+            print(f"  cycles: {outcome.cycles}")
+            for key, value in outcome.stats.summary().items():
+                print(f"  {key}: {value}")
+            print(f"record log: {args.record} ({len(recorded.log)} bytes, "
+                  f"fingerprint {recorded.fingerprint[:12]}…)")
+            if recorded.error:
+                print(f"run failed: {recorded.error}", file=sys.stderr)
+                return 1
+            return 0
         job = _submit(JobSpec.run(spec), args)
         if not job.result["ok"]:
             failed = FailedRun.from_dict(job.result["outcome"])
@@ -535,6 +677,9 @@ def main(argv: Optional[list[str]] = None) -> int:
                                           "cached before metrics or "
                                           "config.metrics is off)")
         return 0
+
+    if args.command == "replay":
+        return _do_replay(args)
 
     if args.command == "perf":
         from repro.harness import perf

@@ -29,6 +29,7 @@ nothing about.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
@@ -143,6 +144,29 @@ def _execute_job(spec: JobSpec, *, jobs: int, timeout: Optional[float],
     return serialize_result(value), experiments.last_telemetry()
 
 
+def collect_artifacts(payload: Any) -> dict[str, str]:
+    """Walk a serialized job payload for on-disk artifacts it names
+    (currently ``record_log`` paths from repro.record auto-capture) and
+    return ``{basename: path}`` for the ones that exist.  The registry
+    lands in :attr:`JobResult.extra` so the HTTP service can expose
+    them as downloadable job artifacts."""
+    found: dict[str, str] = {}
+
+    def walk(node: Any) -> None:
+        if isinstance(node, dict):
+            path = node.get("record_log")
+            if isinstance(path, str) and os.path.isfile(path):
+                found[os.path.basename(path)] = path
+            for value in node.values():
+                walk(value)
+        elif isinstance(node, (list, tuple)):
+            for value in node:
+                walk(value)
+
+    walk(payload)
+    return found
+
+
 def submit(spec: JobSpec, *, jobs: int = 1,
            timeout: Optional[float] = None,
            cache=None,
@@ -179,6 +203,9 @@ def submit(spec: JobSpec, *, jobs: int = 1,
     result = JobResult(kind=spec.kind, fingerprint=fingerprint,
                        result=payload, telemetry=telemetry,
                        elapsed=time.perf_counter() - started)
+    artifacts = collect_artifacts(payload)
+    if artifacts:
+        result.extra["artifacts"] = artifacts
     if store is not None and spec.cacheable:
         store.put(JOB_CACHE_PREFIX + fingerprint, result.to_dict())
     if store is not None:

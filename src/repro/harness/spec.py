@@ -28,6 +28,8 @@ from repro.harness.config import (BusConfig, CacheConfig, DirectoryConfig,
                                   SystemConfig)
 from repro.runtime.program import Workload
 from repro.workloads.apps import ALL_APPS, mp3d
+from repro.workloads.litmus import (LITMUS_WORKLOADS, litmus_atomicity,
+                                    litmus_publication, litmus_write_skew)
 from repro.workloads.microbench import (linked_list, multiple_counter,
                                         single_counter)
 
@@ -97,6 +99,9 @@ WORKLOAD_BUILDERS: dict[str, Callable[..., Workload]] = {
     "single-counter": single_counter,
     "linked-list": linked_list,
     "mp3d-coarse": _mp3d_coarse,
+    "litmus-write-skew": litmus_write_skew,
+    "litmus-publication": litmus_publication,
+    "litmus-atomicity": litmus_atomicity,
     **ALL_APPS,
 }
 
@@ -108,6 +113,7 @@ SIZE_PARAM: dict[str, str] = {
     "single-counter": "total_increments",
     "linked-list": "total_ops",
     "mp3d-coarse": "scale",
+    **{name: "total_rounds" for name in LITMUS_WORKLOADS},
     **{name: "scale" for name in ALL_APPS},
 }
 

@@ -1,0 +1,266 @@
+"""The flight recorder: capture one run as a binary record log.
+
+:class:`FlightRecorder` is a pure observer assembled from two existing
+zero-cost instrumentation surfaces:
+
+* the kernel's ``on_dispatch`` hook (every fired event, with its cheap
+  low-cardinality label -- installing it does *not* flip
+  ``verbose_labels``, so call sites compute exactly what they compute
+  in an unrecorded run and the schedule is pinned bit-identical);
+* the shared machine tap layer (:class:`repro.sim.taps.MachineTaps`)
+  for bus transactions, coherence handlers, deferral edits and
+  transaction begin/commit/abort/restart, including post-call state
+  reads through the side-effect-free ``cache.peek``.
+
+Two normalizations keep logs byte-reproducible across processes:
+request ids come from a process-global counter, so the recorder maps
+each ``req_id`` to a dense first-seen index; and dispatch labels are
+truncated to their first token, which removes embedded request reprs
+(present when a chaos run has ``verbose_labels`` on) and keeps the
+string table small.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.harness.runner import RunResult, result_fingerprint
+from repro.harness.spec import FINGERPRINT_VERSION, RunSpec
+from repro.record.format import (DEFER_DRAIN, DEFER_PUSH, LOG_SCHEMA,
+                                 STATE_ABSENT, STATE_NAMES, LogWriter)
+from repro.sim.taps import MachineTaps
+from repro.sim.trace import _line_of_args
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.machine import Machine
+
+#: Tap kinds after which a cache line's coherence state may have
+#: changed; the recorder re-reads the touched line post-call and logs a
+#: state record when it moved.
+_STATE_KINDS = frozenset({"data", "invalidation", "forward", "probe",
+                          "service", "loss"})
+
+#: Tap kinds after which the deferral queue's depth may have changed.
+_DEFER_KINDS = frozenset({"defer", "service", "commit", "abort", "loss"})
+
+_STATE_INDEX = {name: index for index, name in enumerate(STATE_NAMES)}
+
+
+def artifact_dir() -> str:
+    """Where auto-captured logs land: ``$REPRO_ARTIFACT_DIR`` or
+    ``./artifacts`` (created on first use)."""
+    path = os.environ.get("REPRO_ARTIFACT_DIR") or "artifacts"
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+class FlightRecorder:
+    """Records one machine's execution into a binary log stream.
+
+    ``harness`` describes how the run is being driven (``{"kind":
+    "run"}`` or ``{"kind": "verify", "options": {...}}``) so the
+    replayer can reconstruct the *same* instrumentation -- a verify run
+    carries monitor-scheduled watchdog events whose kernel dispatches
+    are part of the log.
+
+    ``capacity`` optionally bounds the number of tap/state/defer
+    records; once reached, further ones are dropped and tallied per
+    kind in :attr:`dropped_by_kind` (kernel dispatch records are never
+    dropped, END is always written).  Each attached consumer keeps its
+    own such accounting -- a saturated tracer does not cost the
+    recorder records, and vice versa.
+    """
+
+    def __init__(self, spec: RunSpec, *, locks: Optional[list] = None,
+                 harness: Optional[dict] = None, stream=None,
+                 capacity: Optional[int] = None):
+        self.spec = spec
+        self._buffer = stream if stream is not None else io.BytesIO()
+        self.capacity = capacity
+        self.dropped = 0
+        self.dropped_by_kind: dict[str, int] = {}
+        header = {
+            "log_schema": LOG_SCHEMA,
+            "fingerprint_version": FINGERPRINT_VERSION,
+            "spec": spec.to_dict(),
+            "harness": harness or {"kind": "run"},
+            "locks": sorted(locks or []),
+        }
+        self._writer = LogWriter(self._buffer, header)
+        self._label_ids: dict[str, int] = {}
+        self._kind_ids: dict[str, int] = {}
+        self._refs: dict[int, int] = {}
+        self._line_states: dict[tuple[int, int], tuple[int, int]] = {}
+        self._defer_depth: dict[int, int] = {}
+        self._machine: Optional["Machine"] = None
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach(self, machine: "Machine") -> "FlightRecorder":
+        """Install the kernel dispatch hook and register on the shared
+        tap layer.  Call before ``run_workload``."""
+        self._machine = machine
+        machine.sim.on_dispatch = self._on_dispatch
+        MachineTaps.ensure(machine).add_consumer(self)
+        return self
+
+    # ------------------------------------------------------------------
+    # Kernel dispatch hook
+    # ------------------------------------------------------------------
+    def _on_dispatch(self, time: int, label: str) -> None:
+        label_id = self._label_ids.get(label)
+        if label_id is None:
+            # First token only: drops per-request reprs (verbose runs)
+            # and keeps the interned table low-cardinality.
+            label_id = self._writer.intern(label.split(" ", 1)[0])
+            self._label_ids[label] = label_id
+        self._writer.dispatch(time, label_id)
+
+    # ------------------------------------------------------------------
+    # Machine taps
+    # ------------------------------------------------------------------
+    def _drop(self, kind: str) -> bool:
+        if self.capacity is not None and self._writer.records >= self.capacity:
+            self.dropped += 1
+            self.dropped_by_kind[kind] = \
+                self.dropped_by_kind.get(kind, 0) + 1
+            return True
+        return False
+
+    def _ref_id(self, req_id: Optional[int]) -> Optional[int]:
+        """Dense, first-seen-order request id (the raw counter is
+        process-global and would break byte reproducibility)."""
+        if req_id is None:
+            return None
+        dense = self._refs.get(req_id)
+        if dense is None:
+            dense = len(self._refs) + 1
+            self._refs[req_id] = dense
+        return dense
+
+    def on_tap(self, time: int, cpu: int, kind: str, args: tuple,
+               obj: object) -> None:
+        if self._drop(kind):
+            return
+        kind_id = self._kind_ids.get(kind)
+        if kind_id is None:
+            kind_id = self._writer.intern(kind)
+            self._kind_ids[kind] = kind_id
+        if kind == "request":
+            request = args[0]
+            line: Optional[int] = request.line
+            ref = self._ref_id(request.req_id)
+        else:
+            line = _line_of_args(args, kind)
+            ref = None
+            for arg in args:
+                req_id = getattr(arg, "req_id", None)
+                if isinstance(req_id, int):
+                    ref = self._ref_id(req_id)
+                    break
+        self._writer.tap(time, cpu, kind_id, line, ref)
+
+    def on_tap_post(self, time: int, cpu: int, kind: str, args: tuple,
+                    obj: object) -> None:
+        if kind in _STATE_KINDS:
+            line_addr = _line_of_args(args, kind)
+            cache = getattr(obj, "cache", None)
+            if line_addr is not None and cache is not None:
+                if not self._drop("state"):
+                    line = cache.peek(line_addr)
+                    if line is None:
+                        snapshot = (STATE_ABSENT, 0)
+                    else:
+                        flags = (1 if line.accessed else 0) | (
+                            2 if line.spec_written else 0)
+                        snapshot = (_STATE_INDEX[line.state.value], flags)
+                    key = (cpu, line_addr)
+                    if self._line_states.get(key) != snapshot:
+                        self._line_states[key] = snapshot
+                        self._writer.state(time, cpu, line_addr,
+                                           snapshot[0], snapshot[1])
+        if kind in _DEFER_KINDS:
+            deferred = getattr(obj, "deferred", None)
+            if deferred is not None and not self._drop("defer-edit"):
+                depth = len(deferred)
+                known = self._defer_depth.get(cpu, 0)
+                if depth != known:
+                    self._defer_depth[cpu] = depth
+                    op = DEFER_PUSH if depth > known else DEFER_DRAIN
+                    self._writer.defer_edit(time, cpu, op, depth)
+
+    # ------------------------------------------------------------------
+    # Finish
+    # ------------------------------------------------------------------
+    def finish(self, fingerprint: str) -> bytes:
+        """Write the END record and return the complete log bytes (for
+        a ``BytesIO``-backed recorder; file-backed streams return
+        ``b""`` and the caller owns the file)."""
+        if self._finished:
+            raise RuntimeError("recorder already finished")
+        self._finished = True
+        sim = self._machine.sim if self._machine is not None else None
+        self._writer.end(sim.now if sim is not None else 0,
+                         sim.events_fired if sim is not None else 0,
+                         fingerprint)
+        if sim is not None and sim.on_dispatch == self._on_dispatch:
+            sim.on_dispatch = None
+        if isinstance(self._buffer, io.BytesIO):
+            return self._buffer.getvalue()
+        return b""
+
+
+# ----------------------------------------------------------------------
+# One recorded run
+# ----------------------------------------------------------------------
+@dataclass
+class RecordedRun:
+    """What :func:`record_run` produced.  ``error`` is non-None when
+    the run ended in a validation failure or a kernel error -- the log
+    still captures everything up to that point, which is exactly the
+    debugging story a failing run needs."""
+
+    result: RunResult
+    log: bytes
+    fingerprint: str
+    error: Optional[str] = None
+
+
+def record_run(spec: RunSpec) -> RecordedRun:
+    """Execute ``spec`` on a fresh machine with a recorder attached.
+
+    Mirrors :func:`repro.harness.runner.execute_workload` exactly (same
+    machine construction, same metrics gating) so a recorded run's
+    fingerprint matches an unrecorded run of the same spec -- the
+    record-on ≡ record-off contract the golden tests pin.
+    """
+    from repro.harness.machine import Machine
+    from repro.obs import MachineMetrics
+    from repro.runtime.program import ValidationError
+    from repro.sim.kernel import SimulationError
+
+    workload = spec.build_workload()
+    machine = Machine(spec.config)
+    recorder = FlightRecorder(
+        spec, locks=sorted(workload.lock_addrs)).attach(machine)
+    collector = (MachineMetrics().attach(machine)
+                 if spec.config.metrics else None)
+    error: Optional[str] = None
+    try:
+        machine.run_workload(workload, validate=spec.validate)
+    except (ValidationError, SimulationError) as exc:
+        error = f"{type(exc).__name__}: {exc}"
+    result = RunResult(
+        config=spec.config, workload_name=workload.name,
+        stats=machine.stats, store=machine.store,
+        metrics=(collector.finalize(machine)
+                 if collector is not None else None))
+    fingerprint = result_fingerprint(result)
+    log = recorder.finish(fingerprint)
+    return RecordedRun(result=result, log=log, fingerprint=fingerprint,
+                       error=error)

@@ -10,6 +10,10 @@ Endpoints:
 * ``GET /jobs/<id>`` -- one job, including its result when done.
 * ``GET /jobs/<id>/events`` -- Server-Sent Events: the job's event log
   from the beginning, streamed live until it finishes.
+* ``GET /jobs/<id>/artifacts`` -- names of the job's on-disk artifacts
+  (e.g. auto-captured ``.rlog`` record logs from a verify failure).
+* ``GET /jobs/<id>/artifacts/<name>`` -- download one artifact as
+  ``application/octet-stream``.
 * ``GET /metrics`` -- service counters in OpenMetrics text format.
 * ``GET /healthz`` -- liveness.
 
@@ -92,6 +96,10 @@ class JobHandler(BaseHTTPRequestHandler):
                 for job in self.queue.list_jobs()]})
         elif path.startswith("/jobs/") and path.endswith("/events"):
             self._stream_events(path[len("/jobs/"):-len("/events")])
+        elif path.startswith("/jobs/") and "/artifacts" in path:
+            rest = path[len("/jobs/"):]
+            job_id, _, name = rest.partition("/artifacts")
+            self._send_artifact(job_id, name.lstrip("/"))
         elif path.startswith("/jobs/"):
             job = self.queue.get(path[len("/jobs/"):])
             if job is None:
@@ -118,6 +126,35 @@ class JobHandler(BaseHTTPRequestHandler):
                               "fingerprint": job.fingerprint,
                               "state": job.state,
                               "coalesced": coalesced})
+
+    def _send_artifact(self, job_id: str, name: str) -> None:
+        job = self.queue.get(job_id)
+        if job is None or job.result is None:
+            self._not_found()
+            return
+        artifacts = (job.result.extra or {}).get("artifacts") or {}
+        if not name:
+            self._send_json(200, {"artifacts": sorted(artifacts)})
+            return
+        # Names are an allow-list from the registry -- never a path
+        # taken from the URL -- so traversal is structurally impossible.
+        path = artifacts.get(name)
+        if path is None:
+            self._not_found()
+            return
+        try:
+            with open(path, "rb") as fh:
+                body = fh.read()
+        except OSError:
+            self._send_json(410, {"error": f"artifact {name!r} vanished"})
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Disposition",
+                         f'attachment; filename="{name}"')
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def _stream_events(self, job_id: str) -> None:
         if self.queue.get(job_id) is None:

@@ -33,6 +33,7 @@ cheap without changing any observable ordering:
 from __future__ import annotations
 
 import heapq
+import sys
 from typing import Any, Callable, Optional
 
 # Lazy-cancel compaction fires when at least this many dead events are
@@ -42,6 +43,18 @@ COMPACT_DEAD_MIN = 64
 
 class SimulationError(Exception):
     """Base class for errors raised by the simulation kernel."""
+
+
+class HandleLeakError(SimulationError):
+    """Raised (in ``debug_handles`` mode only) when an Event is still
+    referenced by someone after it fired.
+
+    The free list recycles Event objects, so a handle is only valid
+    until its event fires; a tap, tracer or timer holder that keeps the
+    reference past that point will later observe the object
+    reinitialized as an unrelated event.  This error names the event
+    whose handle leaked so the offending holder can be found.
+    """
 
 
 class DeadlockError(SimulationError):
@@ -129,7 +142,8 @@ class Simulator:
 
     def __init__(self, max_cycles: Optional[int] = None, *,
                  recycle_events: bool = True,
-                 compact_dead_min: Optional[int] = COMPACT_DEAD_MIN):
+                 compact_dead_min: Optional[int] = COMPACT_DEAD_MIN,
+                 debug_handles: bool = False):
         #: Heap of ``(time, prio, seq, event)`` entries: the key tuple
         #: is compared natively by heapq (no Python-level ``__lt__``
         #: per sift step), and seq uniqueness means the Event itself is
@@ -149,6 +163,17 @@ class Simulator:
         self._recycle = recycle_events
         self._compact_dead_min = compact_dead_min
         self._dead = 0
+        #: Pure observation hook ``fn(cycle, label)`` fired for every
+        #: dispatched event.  Unlike :attr:`trace` it does NOT flip
+        #: :attr:`verbose_labels`: consumers (the flight recorder) see
+        #: the cheap low-cardinality labels, and attaching one cannot
+        #: change what any call site computes -- the schedule with the
+        #: hook on is bit-identical to the schedule with it off.
+        self.on_dispatch: Optional[Callable[[int, str], None]] = None
+        #: Handle-lifetime checking (see :class:`HandleLeakError`).
+        #: When on, fired events are recycled *after* dispatch and their
+        #: refcount is audited first -- slower, for tests only.
+        self.debug_handles = debug_handles
 
     # ------------------------------------------------------------------
     # Clock and scheduling
@@ -285,6 +310,9 @@ class Simulator:
         queue = self._queue
         pop = heapq.heappop
         trace = self._trace
+        dispatch = self.on_dispatch
+        debug = self.debug_handles
+        getrefcount = sys.getrefcount
         free = self._free if self._recycle else None
         fired = 0
         try:
@@ -315,13 +343,31 @@ class Simulator:
                 args = event.args
                 if trace is not None:  # pragma: no cover - debug hook
                     trace(time, event.label)
-                if free is not None:
+                if dispatch is not None:
+                    dispatch(time, event.label)
+                if free is not None and not debug:
                     # Recycle *before* dispatch so callbacks that schedule
                     # reuse this very object; the handle contract (valid
                     # only until the event fires) makes this safe.
                     event.fn = event.args = None
                     free.append(event)
                 fn(*args)
+                if debug:
+                    # Handle audit: by the time dispatch returns, every
+                    # legitimate holder has dropped its reference (the
+                    # timer pattern nulls the field inside the firing
+                    # callback).  Expected references here: the `event`
+                    # local, the popped entry tuple, and getrefcount's
+                    # own argument -- anything beyond that is a tap or
+                    # tracer retaining a recyclable handle.
+                    if getrefcount(event) > 3:
+                        raise HandleLeakError(
+                            f"event {event!r} still referenced after "
+                            f"firing at t={time}; a hook or holder kept "
+                            f"a recyclable handle")
+                    if free is not None:
+                        event.fn = event.args = None
+                        free.append(event)
                 if queue is not self._queue:  # compaction replaced it
                     queue = self._queue
         finally:

@@ -1,0 +1,151 @@
+"""Shared machine event taps: one set of wrappers, many consumers.
+
+The span tracer (:mod:`repro.sim.trace`) and the flight recorder
+(:mod:`repro.record`) both need to observe the same controller,
+processor and bus entry points.  Before this module each observer
+wrapped the methods itself, so attaching two observers stacked two
+layers of shims in attachment order -- workable but wasteful, and it
+made post-call observation (reading a line's coherence state *after*
+the handler mutated it) impossible to share.
+
+:class:`MachineTaps` installs **one** wrapper per hooked method and fans
+each call out to every registered consumer:
+
+* ``on_tap(time, cpu, kind, args, obj)`` fires before the original
+  method runs (the classic tracer instant);
+* ``on_tap_post(time, cpu, kind, args, obj)`` (optional) fires after it
+  returns, with ``obj`` the hooked component -- this is where the
+  recorder reads post-mutation coherence state via the side-effect-free
+  ``cache.peek``.
+
+Consumers are pure observers: they must not schedule events, draw
+random numbers or mutate machine state, which is what keeps
+taps-attached runs bit-identical to bare runs (the golden-fingerprint
+tests pin this).  The tap layer itself follows the same zero-cost
+discipline as ``repro.obs``: nothing is wrapped until the first
+consumer attaches.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.machine import Machine
+
+
+#: Hooked controller methods -> tap kind.  The kinds are the tracer's
+#: historical vocabulary; the recorder interns the same strings.
+CONTROLLER_HOOKS = {
+    "handle_forward": "forward",
+    "handle_invalidation": "invalidation",
+    "handle_data": "data",
+    "handle_marker": "marker",
+    "handle_probe": "probe",
+    "handle_nack": "nack",
+    "_defer": "defer",
+    "_service_obligation": "service",
+    "_handle_loss": "loss",
+    "commit_speculation": "commit",
+    "abort_speculation": "abort",
+    "enter_speculation": "txn-begin",
+}
+
+#: Hooked processor methods -> tap kind.
+PROCESSOR_HOOKS = {
+    "commit_transaction": "txn-commit",
+    "_on_misspeculation": "misspec",
+}
+
+
+@runtime_checkable
+class TapConsumer(Protocol):  # pragma: no cover - typing aid
+    def on_tap(self, time: int, cpu: int, kind: str, args: tuple,
+               obj: object) -> None: ...
+
+
+class MachineTaps:
+    """The per-machine tap fanout.  Use :meth:`ensure`, not the
+    constructor: a machine carries at most one tap layer."""
+
+    def __init__(self, machine: "Machine"):
+        self.machine = machine
+        self._consumers: list = []
+        self._post: list = []
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    @classmethod
+    def ensure(cls, machine: "Machine") -> "MachineTaps":
+        """The machine's tap layer, installing the wrappers on first
+        use.  Must be called before ``run_workload``."""
+        taps = getattr(machine, "taps", None)
+        if taps is None:
+            taps = cls(machine)
+            taps._install()
+            machine.taps = taps
+        return taps
+
+    def add_consumer(self, consumer) -> "MachineTaps":
+        """Register ``consumer`` for every subsequent tap firing.
+        Consumers fire in registration order; one with an
+        ``on_tap_post`` method also receives post-call notifications."""
+        self._consumers.append(consumer)
+        if hasattr(consumer, "on_tap_post"):
+            self._post.append(consumer)
+        return self
+
+    def _install(self) -> None:
+        machine = self.machine
+        for controller in machine.controllers:
+            for method, kind in CONTROLLER_HOOKS.items():
+                self._wrap(controller, method, kind)
+        for processor in machine.processors:
+            for method, kind in PROCESSOR_HOOKS.items():
+                self._wrap(processor, method, kind)
+        self._wrap_issue(machine.bus)
+
+    def _wrap(self, obj, method_name: str, kind: str) -> None:
+        original = getattr(obj, method_name)
+        cpu = getattr(obj, "cpu_id", -1)
+        sim = obj.sim
+        consumers = self._consumers   # live lists: later add_consumer
+        post = self._post             # registrations are seen by shims
+
+        @functools.wraps(original)
+        def shim(*args, **kwargs):
+            now = sim.now
+            for consumer in consumers:
+                consumer.on_tap(now, cpu, kind, args, obj)
+            result = original(*args, **kwargs)
+            if post:
+                for consumer in post:
+                    consumer.on_tap_post(now, cpu, kind, args, obj)
+            return result
+
+        setattr(obj, method_name, shim)
+
+    def _wrap_issue(self, bus) -> None:
+        """The bus has no cpu identity; each issued request is
+        attributed to the *requesting* CPU."""
+        original = bus.issue
+        sim = bus.sim
+        consumers = self._consumers
+        post = self._post
+
+        @functools.wraps(original)
+        def shim(request):
+            now = sim.now
+            for consumer in consumers:
+                consumer.on_tap(now, request.requester, "request",
+                                (request,), bus)
+            result = original(request)
+            if post:
+                for consumer in post:
+                    consumer.on_tap_post(now, request.requester, "request",
+                                         (request,), bus)
+            return result
+
+        bus.issue = shim

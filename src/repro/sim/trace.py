@@ -6,9 +6,12 @@ filtering by line or CPU, and renders a readable interleaving -- the
 tool that found most protocol bugs during this reproduction's own
 development, packaged for users debugging their workloads.
 
-Attach with :meth:`Tracer.attach`; it wraps the relevant controller and
-processor entry points non-invasively (no hooks are needed in the hot
-path when tracing is off).
+Attach with :meth:`Tracer.attach`; it registers on the machine's shared
+tap layer (:class:`repro.sim.taps.MachineTaps`), which wraps the
+relevant controller and processor entry points non-invasively (no hooks
+are needed in the hot path when tracing is off).  The flight recorder
+(:mod:`repro.record`) rides the same taps, so attaching both installs
+one set of wrappers, and each consumer keeps its own drop accounting.
 
 Besides instant events the tracer pairs matching begin/end instants
 into **span events** (:class:`SpanEvent`):
@@ -28,11 +31,12 @@ async events do not require stack nesting per thread row.
 
 from __future__ import annotations
 
-import functools
 import json
 from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional, Union
+
+from repro.sim.taps import CONTROLLER_HOOKS, MachineTaps
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.harness.machine import Machine
@@ -95,20 +99,9 @@ class Tracer:
     :attr:`dropped_by_kind` either way.
     """
 
-    CONTROLLER_HOOKS = {
-        "handle_forward": "forward",
-        "handle_invalidation": "invalidation",
-        "handle_data": "data",
-        "handle_marker": "marker",
-        "handle_probe": "probe",
-        "handle_nack": "nack",
-        "_defer": "defer",
-        "_service_obligation": "service",
-        "_handle_loss": "loss",
-        "commit_speculation": "commit",
-        "abort_speculation": "abort",
-        "enter_speculation": "txn-begin",
-    }
+    #: Kept as a class attribute for backward compatibility; the
+    #: authoritative mapping lives in :mod:`repro.sim.taps`.
+    CONTROLLER_HOOKS = CONTROLLER_HOOKS
 
     def __init__(self, capacity: int = 100_000, ring: bool = False):
         self.capacity = capacity
@@ -127,44 +120,22 @@ class Tracer:
     # Attachment
     # ------------------------------------------------------------------
     def attach(self, machine: "Machine") -> "Tracer":
-        """Wrap the machine's controllers and processors with recording
-        shims.  Call before ``run_workload``."""
+        """Register on the machine's shared tap layer (installing it if
+        this is the first consumer).  Call before ``run_workload``."""
         self._machine = machine
-        for controller in machine.controllers:
-            for method, kind in self.CONTROLLER_HOOKS.items():
-                self._wrap(controller, method, kind)
-        for processor in machine.processors:
-            self._wrap(processor, "commit_transaction", "txn-commit")
-            self._wrap(processor, "_on_misspeculation", "misspec")
-        self._wrap_issue(machine.bus)
+        MachineTaps.ensure(machine).add_consumer(self)
         return self
 
-    def _wrap(self, obj, method_name: str, kind: str) -> None:
-        original = getattr(obj, method_name)
-        cpu = getattr(obj, "cpu_id", -1)
-        sim = obj.sim
-
-        @functools.wraps(original)
-        def shim(*args, **kwargs):
-            self.record(sim.now, cpu, kind, _line_of_args(args, kind),
-                        _describe(args), ref=_ref_of_args(args))
-            return original(*args, **kwargs)
-
-        setattr(obj, method_name, shim)
-
-    def _wrap_issue(self, bus) -> None:
-        """Record each request leaving for the interconnect, attributed
-        to the *requesting* CPU (the bus itself has no cpu identity)."""
-        original = bus.issue
-        sim = bus.sim
-
-        @functools.wraps(original)
-        def shim(request):
-            self.record(sim.now, request.requester, "request",
-                        request.line, repr(request), ref=request.req_id)
-            return original(request)
-
-        bus.issue = shim
+    def on_tap(self, time: int, cpu: int, kind: str, args: tuple,
+               obj: object) -> None:
+        """Tap-consumer entry point (see :class:`MachineTaps`)."""
+        if kind == "request":
+            request = args[0]
+            self.record(time, cpu, kind, request.line, repr(request),
+                        ref=request.req_id)
+            return
+        self.record(time, cpu, kind, _line_of_args(args, kind),
+                    _describe(args), ref=_ref_of_args(args))
 
     # ------------------------------------------------------------------
     # Recording and querying

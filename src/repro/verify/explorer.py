@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
@@ -43,7 +44,9 @@ from repro.verify.recorder import FootprintRecorder
 #     cached pre-v3 verdicts would come back without it.
 # v4: verdict payloads are schema-stamped (``"schema"`` field, checked
 #     by ``from_dict``); pre-v4 cached verdicts lack the stamp.
-VERIFY_FINGERPRINT_VERSION = 4
+# v5: VerifyResult grew ``record_log`` (repro.record auto-capture of
+#     the shrunk failing schedule); pre-v5 verdicts lack the field.
+VERIFY_FINGERPRINT_VERSION = 5
 
 #: Cycles of trace to render before/after the first violation.
 TRACE_WINDOW_BEFORE = 2_000
@@ -90,6 +93,15 @@ class VerifyResult:
     # Conflict telemetry (repro.obs registry export); None when loaded
     # from a pre-v3 cached verdict.
     metrics: Optional[dict] = None
+    # Path of the auto-captured record log (repro.record) for this
+    # run's schedule -- set on shrunk failing verdicts; replay it with
+    # ``repro replay <path>``.
+    record_log: Optional[str] = None
+    # Raw log bytes when the run was executed with ``record=True`` in
+    # this process; never serialized (the path above is the durable
+    # handle).
+    log_bytes: Optional[bytes] = field(default=None, repr=False,
+                                       compare=False)
 
     def to_dict(self) -> dict:
         return stamp_schema({
@@ -100,7 +112,8 @@ class VerifyResult:
             "num_txns": self.num_txns, "edges": dict(self.edges),
             "elapsed": self.elapsed, "cycles": self.cycles,
             "summary": dict(self.summary),
-            "metrics": self.metrics})
+            "metrics": self.metrics,
+            "record_log": self.record_log})
 
     @classmethod
     def from_dict(cls, data: dict) -> "VerifyResult":
@@ -114,7 +127,8 @@ class VerifyResult:
                    elapsed=data.get("elapsed", 0.0),
                    cycles=data.get("cycles", 0),
                    summary=dict(data.get("summary") or {}),
-                   metrics=data.get("metrics"))
+                   metrics=data.get("metrics"),
+                   record_log=data.get("record_log"))
 
     def headline(self) -> str:
         status = "ok" if self.ok else "FAIL"
@@ -132,18 +146,29 @@ class VerifyResult:
 # One verified run
 # ----------------------------------------------------------------------
 def verify_run(spec: RunSpec, options: Optional[VerifyOptions] = None,
-               collect_trace: bool = False
+               collect_trace: bool = False, record: bool = False
                ) -> tuple[VerifyResult, Optional[Tracer]]:
     """Build, instrument and run one spec; judge the execution.
 
     Returns the verdict and (when ``collect_trace``) the attached
-    :class:`~repro.sim.trace.Tracer` for rendering.
+    :class:`~repro.sim.trace.Tracer` for rendering.  With ``record``,
+    a :class:`~repro.record.FlightRecorder` captures the run's binary
+    event log into the verdict's ``log_bytes`` -- the harness mode is
+    embedded so ``repro replay`` re-attaches the same monitors (their
+    watchdog events are part of the recorded schedule).
     """
     options = options or VerifyOptions()
     started = time.perf_counter()
     workload = spec.build_workload()
     machine = Machine(spec.config)
     tracer = Tracer().attach(machine) if collect_trace else None
+    flight = None
+    if record:
+        from repro.record import FlightRecorder
+        flight = FlightRecorder(
+            spec, locks=sorted(workload.lock_addrs),
+            harness={"kind": "verify",
+                     "options": options.to_dict()}).attach(machine)
     collector = (MachineMetrics().attach(machine)
                  if spec.config.metrics else None)
     recorder = FootprintRecorder().attach(machine)
@@ -192,6 +217,12 @@ def verify_run(spec: RunSpec, options: Optional[VerifyOptions] = None,
         summary=summary,
         metrics=(collector.finalize(machine)
                  if collector is not None else None))
+    if flight is not None:
+        from repro.harness.runner import RunResult, result_fingerprint
+        run_fingerprint = result_fingerprint(RunResult(
+            config=spec.config, workload_name=workload.name,
+            stats=machine.stats, store=machine.store))
+        result.log_bytes = flight.finish(run_fingerprint)
     return result, tracer
 
 
@@ -372,7 +403,12 @@ class ShrunkFailure:
                   f"chaos={config.schedule_chaos}")
         problem = self.result.error or (
             self.result.violations[0] if self.result.violations else "?")
-        return "\n".join([header, f"failure: {problem}", "", self.trace])
+        lines = [header, f"failure: {problem}"]
+        if self.result.record_log:
+            lines.append(f"record log: {self.result.record_log} "
+                         f"(replay with `repro replay`)")
+        lines += ["", self.trace]
+        return "\n".join(lines)
 
 
 def _still_fails(spec: RunSpec, options: VerifyOptions,
@@ -427,13 +463,25 @@ def shrink_failure(spec: RunSpec, *,
         if not try_shrunk(fewer):
             break
 
-    # Final instrumented run of the minimal reproduction.
-    result, tracer = verify_run(current, options, collect_trace=True)
+    # Final instrumented run of the minimal reproduction, with a
+    # record log captured so the exact failing schedule can be
+    # replayed and time-travel-debugged offline.
+    result, tracer = verify_run(current, options, collect_trace=True,
+                                record=True)
     if result.ok:
         # The failure is flaky at this size (e.g. pool-vs-serial timing
         # of the wall clock); fall back to the unshrunk spec.
         current, steps = spec, 0
-        result, tracer = verify_run(current, options, collect_trace=True)
+        result, tracer = verify_run(current, options, collect_trace=True,
+                                    record=True)
+    if result.log_bytes:
+        from repro.record import artifact_dir
+        log_path = os.path.join(
+            artifact_dir(),
+            f"record-{current.workload}-s{current.config.seed}.rlog")
+        with open(log_path, "wb") as fh:
+            fh.write(result.log_bytes)
+        result.record_log = log_path
     first_violation = _first_violation_time(result)
     if first_violation is not None:
         trace = tracer.render(since=max(0, first_violation

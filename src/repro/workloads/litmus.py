@@ -1,0 +1,221 @@
+"""Chong-style TM litmus scenarios as verify conformance checks.
+
+Small, adversarial transaction shapes whose *intermediate* states
+expose classic TM anomalies that the full microbenchmarks rarely
+provoke.  Each scenario carries its invariant inside the workload: a
+checker transaction re-reads the shared state under the (elided) lock
+and bumps a ``violations`` word when the invariant is broken, so a
+serializability bug becomes a deterministic validation failure --
+wired through ``repro verify`` (``--litmus``), every failing seed is
+shrunk and auto-captures a record log for time-travel debugging.
+
+* ``litmus_write_skew`` -- the write-skew anomaly across two cache
+  lines: two roles each read *both* balances but withdraw only from
+  their own; the ``x + y >= 1`` invariant survives any serial order
+  but dies when two withdrawals interleave unserializably.
+* ``litmus_publication`` -- publication via an elided lock: a writer
+  publishes ``data`` then ``flag`` inside one critical section;
+  readers must never observe ``flag`` ahead of ``data``.
+* ``litmus_atomicity`` -- a paired update (``x`` and ``y`` always
+  incremented together); observers must never see a torn state where
+  ``x != y``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.runtime.env import ThreadEnv
+from repro.runtime.program import Workload
+from repro.workloads.common import AddressSpace
+
+#: The scenarios ``repro verify --litmus`` fans out, by registry name.
+LITMUS_WORKLOADS: tuple[str, ...] = (
+    "litmus-write-skew", "litmus-publication", "litmus-atomicity")
+
+
+def litmus_write_skew(num_threads: int, total_rounds: int = 96,
+                      think_cycles: int = 8) -> Workload:
+    """Write skew across two lines under one elided lock.
+
+    Balances ``x`` and ``y`` start at 1.  A withdrawing transaction
+    reads both and decrements *its own* balance only when the combined
+    funds allow (``x + y >= 2``); a later transaction restores it.
+    Any serial order keeps ``x + y >= 1`` at all times -- observing a
+    combined balance of zero is the write-skew anomaly.
+    """
+    space = AddressSpace()
+    lock = space.alloc_word()
+    x = space.alloc_word()
+    y = space.alloc_word()
+    violations = space.alloc_word()
+    ready = space.alloc_word()
+    iters = max(1, total_rounds // num_threads)
+
+    def make_thread(tid: int):
+        own, other = (x, y) if tid % 2 == 0 else (y, x)
+
+        def withdraw(env: ThreadEnv) -> Generator:
+            mine = yield env.read(own, pc="ws.own")
+            theirs = yield env.read(other, pc="ws.other")
+            if mine + theirs >= 2 and mine >= 1:
+                yield env.write(own, mine - 1, pc="ws.take")
+                return True
+            return False
+
+        def observe(env: ThreadEnv) -> Generator:
+            sx = yield env.read(x, pc="ws.obs.x")
+            sy = yield env.read(y, pc="ws.obs.y")
+            if sx + sy < 1:
+                seen = yield env.read(violations, pc="ws.obs.v")
+                yield env.write(violations, seen + 1, pc="ws.obs.bump")
+            return None
+
+        def restore(env: ThreadEnv) -> Generator:
+            mine = yield env.read(own, pc="ws.restore")
+            yield env.write(own, mine + 1, pc="ws.deposit")
+            return None
+
+        def thread(env: ThreadEnv) -> Generator:
+            if tid == 0:
+                yield env.write(x, 1, pc="ws.init")
+                yield env.write(y, 1, pc="ws.init")
+                yield env.write(ready, 1, pc="ws.ready")
+            else:
+                while not (yield env.read(ready, pc="ws.waitready")):
+                    yield env.compute(100)
+            for _ in range(iters):
+                took = yield from env.critical(lock, withdraw, pc="ws.w")
+                yield env.compute(think_cycles)
+                yield from env.critical(lock, observe, pc="ws.o")
+                if took:
+                    yield from env.critical(lock, restore, pc="ws.r")
+                yield env.compute(env.fair_delay())
+
+        return thread
+
+    def validate(store) -> None:
+        got = store.read(violations)
+        assert got == 0, (
+            f"write-skew anomaly observed {got} time(s): combined "
+            f"balance dropped below 1 inside a critical section")
+        final_x, final_y = store.read(x), store.read(y)
+        assert (final_x, final_y) == (1, 1), (
+            f"unbalanced books: x={final_x} y={final_y}, expected 1/1 "
+            f"(every withdrawal must be restored)")
+
+    return Workload(name="litmus-write-skew",
+                    threads=[make_thread(t) for t in range(num_threads)],
+                    validate=validate, lock_addrs={lock},
+                    meta={"space": space, "iters": iters,
+                          "violations": violations})
+
+
+def litmus_publication(num_threads: int, total_rounds: int = 96,
+                       think_cycles: int = 8) -> Workload:
+    """Publication via an elided lock: ``data`` then ``flag`` inside
+    one critical section; a reader seeing ``flag != data`` caught the
+    publication half-done."""
+    space = AddressSpace()
+    lock = space.alloc_word()
+    data = space.alloc_word()
+    flag = space.alloc_word()
+    violations = space.alloc_word()
+    iters = max(1, total_rounds // num_threads)
+
+    def publish_body(value: int):
+        def body(env: ThreadEnv) -> Generator:
+            yield env.write(data, value, pc="pub.data")
+            yield env.compute(think_cycles)  # widen the torn window
+            yield env.write(flag, value, pc="pub.flag")
+            return None
+        return body
+
+    def consume(env: ThreadEnv) -> Generator:
+        published = yield env.read(flag, pc="pub.rdflag")
+        payload = yield env.read(data, pc="pub.rddata")
+        if published != payload:
+            seen = yield env.read(violations, pc="pub.v")
+            yield env.write(violations, seen + 1, pc="pub.bump")
+        return None
+
+    def make_thread(tid: int):
+        def thread(env: ThreadEnv) -> Generator:
+            for i in range(iters):
+                if tid == 0:
+                    yield from env.critical(lock, publish_body(i + 1),
+                                            pc="pub.w")
+                else:
+                    yield from env.critical(lock, consume, pc="pub.r")
+                yield env.compute(env.fair_delay())
+
+        return thread
+
+    def validate(store) -> None:
+        got = store.read(violations)
+        assert got == 0, (
+            f"publication anomaly observed {got} time(s): flag was "
+            f"visible ahead of its data")
+        assert store.read(flag) == store.read(data) == iters, (
+            f"final flag={store.read(flag)} data={store.read(data)}, "
+            f"expected both == {iters}")
+
+    return Workload(name="litmus-publication",
+                    threads=[make_thread(t) for t in range(num_threads)],
+                    validate=validate, lock_addrs={lock},
+                    meta={"space": space, "iters": iters,
+                          "violations": violations})
+
+
+def litmus_atomicity(num_threads: int, total_rounds: int = 96,
+                     think_cycles: int = 8) -> Workload:
+    """Paired update: ``x`` and ``y`` (different lines) always move
+    together; an observer seeing ``x != y`` caught a torn update."""
+    space = AddressSpace()
+    lock = space.alloc_word()
+    x = space.alloc_word()
+    y = space.alloc_word()
+    violations = space.alloc_word()
+    iters = max(1, total_rounds // num_threads)
+
+    def update(env: ThreadEnv) -> Generator:
+        vx = yield env.read(x, pc="at.rdx")
+        yield env.compute(think_cycles)  # widen the torn window
+        vy = yield env.read(y, pc="at.rdy")
+        yield env.write(x, vx + 1, pc="at.wrx")
+        yield env.write(y, vy + 1, pc="at.wry")
+        return None
+
+    def observe(env: ThreadEnv) -> Generator:
+        vx = yield env.read(x, pc="at.obs.x")
+        vy = yield env.read(y, pc="at.obs.y")
+        if vx != vy:
+            seen = yield env.read(violations, pc="at.obs.v")
+            yield env.write(violations, seen + 1, pc="at.obs.bump")
+        return None
+
+    def make_thread(tid: int):
+        def thread(env: ThreadEnv) -> Generator:
+            for _ in range(iters):
+                yield from env.critical(lock, update, pc="at.u")
+                yield from env.critical(lock, observe, pc="at.o")
+                yield env.compute(env.fair_delay())
+
+        return thread
+
+    expected = iters * num_threads
+
+    def validate(store) -> None:
+        got = store.read(violations)
+        assert got == 0, (
+            f"atomicity anomaly observed {got} time(s): x and y seen "
+            f"torn inside a critical section")
+        vx, vy = store.read(x), store.read(y)
+        assert vx == vy == expected, (
+            f"final x={vx} y={vy}, expected both == {expected}")
+
+    return Workload(name="litmus-atomicity",
+                    threads=[make_thread(t) for t in range(num_threads)],
+                    validate=validate, lock_addrs={lock},
+                    meta={"space": space, "iters": iters,
+                          "violations": violations})

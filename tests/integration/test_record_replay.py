@@ -1,0 +1,212 @@
+"""Integration tests for the record/replay layer.
+
+The load-bearing contracts:
+
+* **Record-on ≡ record-off.**  Attaching the flight recorder must not
+  perturb the schedule: a recorded run's fingerprint equals the
+  unrecorded golden fingerprints pinned by the policy-lab tests, across
+  policies and both coherence protocols.
+* **Replay purity.**  Re-executing a log's embedded spec yields
+  byte-identical log bytes and the same fingerprint -- for plain runs
+  and for verify-harness runs (whose monitor watchdogs are part of the
+  recorded schedule).
+* **Auto-capture.**  ``shrink_failure`` writes a replayable log of the
+  minimal failing schedule and names it in the verdict; ``submit``
+  surfaces it as a job artifact the HTTP service serves for download.
+* **Litmus conformance.**  The Chong-style TM scenarios pass under the
+  real machine and catch an injected conflict-handling bug.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from dataclasses import replace
+
+import pytest
+
+import repro.coherence.controller as controller_module
+from repro.harness.config import SyncScheme, SystemConfig
+from repro.harness.jobs import JobResult, collect_artifacts
+from repro.harness.runner import execute_workload, result_fingerprint
+from repro.harness.spec import JobSpec, RunSpec, stamp_schema
+from repro.record import load_log, record_run, replay_log
+from repro.serve import JobQueue
+from repro.serve.http import JobServer
+from repro.serve.queue import Job
+from repro.verify.explorer import (VerifyOptions, explore, shrink_failure,
+                                   verify_run)
+from repro.workloads.litmus import LITMUS_WORKLOADS
+
+# Pinned by tests/integration/test_policy_lab.py on the pre-refactor
+# tree; the recorder must reproduce them bit-for-bit with recording ON.
+from tests.integration.test_policy_lab import GOLDEN_DEFAULT
+
+
+def _spec(workload="single-counter", *, policy=None, protocol="snoop",
+          seed=0, ops=48, cpus=4):
+    config = SystemConfig(num_cpus=cpus, scheme=SyncScheme.TLR, seed=seed,
+                          protocol=protocol)
+    if policy is not None:
+        config = config.with_policy(policy)
+    size = {"single-counter": "total_increments",
+            "multiple-counter": "total_increments",
+            "linked-list": "total_ops"}.get(workload, "total_rounds")
+    return RunSpec(workload=workload, config=config,
+                   workload_args={size: ops})
+
+
+# ----------------------------------------------------------------------
+# Record-on ≡ record-off, and replay purity, across the matrix
+# ----------------------------------------------------------------------
+class TestRecordReplayMatrix:
+    @pytest.mark.parametrize("policy", ["timestamp", "nack"])
+    @pytest.mark.parametrize("protocol", ["snoop", "directory"])
+    def test_replay_byte_identical(self, policy, protocol):
+        spec = _spec(policy=policy, protocol=protocol)
+        recorded = record_run(spec)
+        assert recorded.error is None
+        report = replay_log(recorded.log)
+        assert report.ok, report.render()
+        assert report.log_identical and report.fingerprint_identical
+        assert report.records == len(load_log(recorded.log).records)
+
+    @pytest.mark.parametrize("policy", ["timestamp", "nack"])
+    @pytest.mark.parametrize("protocol", ["snoop", "directory"])
+    def test_recording_does_not_change_the_fingerprint(self, policy,
+                                                       protocol):
+        spec = _spec("linked-list", policy=policy, protocol=protocol)
+        bare = execute_workload(spec.build_workload(), spec.config)
+        recorded = record_run(spec)
+        assert recorded.fingerprint == result_fingerprint(bare), (
+            f"{policy}/{protocol}: attaching the recorder changed "
+            f"the schedule")
+
+    def test_record_on_matches_pinned_goldens(self):
+        """The strongest record-off ≡ record-on pin: recorded runs
+        reproduce the pre-refactor golden fingerprints exactly."""
+        for (name, seed), want in GOLDEN_DEFAULT.items():
+            recorded = record_run(_spec(name, seed=seed, ops=96))
+            assert recorded.fingerprint == want, (
+                f"{name}/seed{seed}: recorded fingerprint diverged "
+                f"from the golden capture")
+
+    def test_log_embeds_enough_to_reproduce(self):
+        recorded = record_run(_spec())
+        image = load_log(recorded.log)
+        rebuilt = RunSpec.from_dict(image.spec_dict)
+        assert rebuilt.workload == "single-counter"
+        assert image.header["harness"] == {"kind": "run"}
+        assert image.end.fingerprint == recorded.fingerprint
+
+
+# ----------------------------------------------------------------------
+# Verify-harness capture
+# ----------------------------------------------------------------------
+class TestVerifyCapture:
+    def test_verify_recorded_run_replays_pure(self):
+        result, _ = verify_run(_spec(), record=True)
+        assert result.ok and result.log_bytes
+        image = load_log(result.log_bytes)
+        assert image.header["harness"]["kind"] == "verify"
+        report = replay_log(result.log_bytes)
+        assert report.ok, report.render()
+
+    def test_shrink_failure_auto_captures_log(self, monkeypatch,
+                                              tmp_path):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        # Break conflict handling: a losing speculation keeps running
+        # on stale data (lost updates) -- the oracle must fail, and the
+        # shrunk reproduction must come with a record log.
+        monkeypatch.setattr(
+            controller_module.CacheController, "_handle_loss",
+            lambda self, reason, line_addr, ts=None: None)
+        spec = replace(_spec(ops=64), validate=False)
+        result, _ = verify_run(spec)
+        assert not result.ok, "injected lost updates went undetected"
+
+        shrunk = shrink_failure(spec)
+        assert not shrunk.result.ok
+        path = shrunk.result.record_log
+        assert path is not None and path.startswith(str(tmp_path))
+        image = load_log(path)
+        assert image.header["harness"]["kind"] == "verify"
+        assert image.end is not None
+        assert "record log:" in shrunk.render()
+
+
+# ----------------------------------------------------------------------
+# Litmus conformance
+# ----------------------------------------------------------------------
+class TestLitmusConformance:
+    @pytest.mark.parametrize("workload", LITMUS_WORKLOADS)
+    def test_scenarios_hold_on_the_real_machine(self, workload):
+        exploration = explore(_spec(workload, ops=48), seeds=3,
+                              cache=False)
+        assert exploration.ok, exploration.summary()
+        assert exploration.total_txns > 0
+
+    def test_atomicity_litmus_catches_lost_updates(self, monkeypatch):
+        monkeypatch.setattr(
+            controller_module.CacheController, "_handle_loss",
+            lambda self, reason, line_addr, ts=None: None)
+        spec = replace(_spec("litmus-atomicity", ops=64), validate=False)
+        result, _ = verify_run(spec, VerifyOptions(monitors=False))
+        assert not result.ok, (
+            "the atomicity litmus missed injected lost updates")
+
+    @pytest.mark.parametrize("workload", LITMUS_WORKLOADS)
+    def test_recorded_litmus_replays_pure(self, workload):
+        recorded = record_run(_spec(workload, ops=48))
+        assert recorded.error is None
+        assert replay_log(recorded.log).ok
+
+
+# ----------------------------------------------------------------------
+# Serve: logs as downloadable job artifacts
+# ----------------------------------------------------------------------
+class TestServeArtifacts:
+    def test_collect_artifacts_walks_nested_payloads(self, tmp_path):
+        log = tmp_path / "record-single-counter-s3.rlog"
+        log.write_bytes(b"RPRL-test")
+        payload = {"shrunk": {"result": {"record_log": str(log)}},
+                   "noise": [{"record_log": str(tmp_path / "gone.rlog")}]}
+        artifacts = collect_artifacts(payload)
+        assert artifacts == {log.name: str(log)}  # missing files skipped
+
+    def test_artifact_route_serves_the_log(self, tmp_path):
+        log = tmp_path / "record-x-s0.rlog"
+        log.write_bytes(b"\x00\x01binary log bytes")
+        queue = JobQueue(workers=1)
+        job = Job("j-artifact", JobSpec.perf(quick=True), "fp")
+        job.state = "done"
+        job.result = JobResult(
+            kind="verify", fingerprint="fp",
+            result=stamp_schema({"ok": False}),
+            extra={"artifacts": {log.name: str(log)}})
+        queue._jobs[job.id] = job
+        server = JobServer(("127.0.0.1", 0), queue)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            with urllib.request.urlopen(
+                    f"{base}/jobs/j-artifact/artifacts") as response:
+                listing = json.load(response)
+            assert listing == {"artifacts": [log.name]}
+            with urllib.request.urlopen(
+                    f"{base}/jobs/j-artifact/artifacts/{log.name}") as r:
+                assert r.read() == log.read_bytes()
+                assert r.headers["Content-Type"] == \
+                    "application/octet-stream"
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(
+                    f"{base}/jobs/j-artifact/artifacts/nope.rlog")
+            assert exc.value.code == 404
+        finally:
+            server.shutdown()
+            server.server_close()
+            queue.stop()
+            thread.join(timeout=10)

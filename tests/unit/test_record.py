@@ -1,0 +1,305 @@
+"""Unit tests for repro.record: the binary log format, the timeline
+debugger, VCD export, the kernel's handle-lifetime audit, and the
+per-consumer drop accounting when a recorder and a tracer share the
+machine tap layer."""
+
+import io
+
+import pytest
+
+from repro.harness.config import SyncScheme, SystemConfig
+from repro.harness.machine import Machine
+from repro.harness.spec import RunSpec
+from repro.record import (LOG_SCHEMA, SCHEMA_HISTORY, FlightRecorder,
+                          Timeline, export_vcd, first_divergence, load_log,
+                          record_run)
+from repro.record.format import (LogFormatError, LogWriter, read_header)
+from repro.sim.kernel import (COMPACT_DEAD_MIN, HandleLeakError, Simulator)
+from repro.sim.trace import Tracer
+from repro.workloads.microbench import single_counter
+
+
+def _spec(seed=0, ops=48):
+    return RunSpec(workload="single-counter",
+                   config=SystemConfig(num_cpus=4, scheme=SyncScheme.TLR,
+                                       seed=seed),
+                   workload_args={"total_increments": ops})
+
+
+def _tiny_log(fingerprint="f" * 64):
+    """Hand-written log: one CPU takes a txn through begin/commit with
+    a state change and a deferral push/drain on a lock line."""
+    buffer = io.BytesIO()
+    writer = LogWriter(buffer, {"log_schema": LOG_SCHEMA,
+                                "spec": {"workload": "synthetic",
+                                         "config": {"num_cpus": 2}},
+                                "harness": {"kind": "run"},
+                                "locks": [0x100]})
+    begin = writer.intern("txn-begin")
+    request = writer.intern("request")
+    data = writer.intern("data")
+    commit = writer.intern("commit")
+    tick = writer.intern("tick")
+    writer.dispatch(5, tick)
+    writer.tap(10, 0, begin, None, None)
+    writer.tap(12, 0, request, 0x10, 1)
+    writer.tap(20, 0, data, 0x10, 1)
+    writer.state(20, 0, 0x10, 0, 3)       # -> M, accessed+spec_written
+    writer.defer_edit(25, 0, 0, 2)        # push to depth 2
+    writer.defer_edit(30, 0, 1, 0)        # drain to 0
+    writer.tap(40, 0, commit, 0x10, None)
+    writer.state(40, 0, 0x10, 3, 0)       # -> S
+    writer.end(50, 8, fingerprint)
+    return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Format: header, round trip, CRC, schema history
+# ----------------------------------------------------------------------
+class TestFormat:
+    def test_round_trip(self):
+        image = load_log(_tiny_log())
+        assert image.header["locks"] == [0x100]
+        assert image.end.final_time == 50
+        assert image.end.events_fired == 8
+        assert image.end.fingerprint == "f" * 64
+        ops = [r.op for r in image.records]
+        assert ops == ["dispatch", "tap", "tap", "tap", "state",
+                       "defer", "defer", "tap", "state"]
+        assert image.records[0].label == "tick"
+        assert image.records[4].label == "M"
+        assert image.records[4].flags == 3
+        assert [r.time for r in image.records] == [5, 10, 12, 20, 20,
+                                                   25, 30, 40, 40]
+
+    def test_corrupt_byte_fails_crc(self):
+        raw = bytearray(_tiny_log())
+        raw[len(raw) // 2] ^= 0xFF
+        with pytest.raises(LogFormatError, match="CRC"):
+            load_log(bytes(raw))
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(LogFormatError, match="magic"):
+            read_header(b"NOPE" + _tiny_log()[4:])
+
+    def test_unknown_version_names_schema_history(self):
+        raw = bytearray(_tiny_log())
+        raw[4:6] = (99).to_bytes(2, "little")
+        with pytest.raises(LogFormatError, match="99"):
+            read_header(bytes(raw))
+
+    def test_schema_history_is_complete(self):
+        """Every schema version ever shipped must carry a migration
+        note -- bumping LOG_SCHEMA without documenting the change is a
+        CI failure (the replay-smoke job runs this check)."""
+        assert set(SCHEMA_HISTORY) == set(range(1, LOG_SCHEMA + 1))
+        assert all(isinstance(note, str) and note
+                   for note in SCHEMA_HISTORY.values())
+
+    def test_records_render(self):
+        for record in load_log(_tiny_log()).records:
+            assert str(record.time) in record.render()
+
+
+# ----------------------------------------------------------------------
+# Diff
+# ----------------------------------------------------------------------
+class TestDiff:
+    def test_identical_logs_have_no_divergence(self):
+        a, b = load_log(_tiny_log()), load_log(_tiny_log())
+        assert first_divergence(a, b) is None
+
+    def test_first_divergence_indexes_the_mismatch(self):
+        a = load_log(_tiny_log())
+        b = load_log(_tiny_log(fingerprint="0" * 64))
+        assert first_divergence(a, b) is None  # END not part of stream
+
+        recorded = record_run(_spec(seed=0))
+        other = record_run(_spec(seed=1))
+        divergence = first_divergence(load_log(recorded.log),
+                                      load_log(other.log))
+        assert divergence is not None
+        assert divergence.ours is not None and divergence.theirs is not None
+        rendered = divergence.render()
+        assert "first divergence" in rendered
+        assert "A: " in rendered and "B: " in rendered
+        # Context is the shared prefix right before the split.
+        for record in divergence.context:
+            assert record.time <= max(divergence.ours.time,
+                                      divergence.theirs.time)
+
+    def test_truncated_log_diverges_with_log_ends(self):
+        recorded = record_run(_spec())
+        image = load_log(recorded.log)
+        shorter = type(image)(header=image.header,
+                              records=image.records[:-5], end=image.end)
+        divergence = first_divergence(image, shorter)
+        assert divergence is not None
+        assert divergence.theirs is None  # B ended early
+
+
+# ----------------------------------------------------------------------
+# Timeline reconstruction (no re-simulation)
+# ----------------------------------------------------------------------
+class TestTimeline:
+    def test_synthetic_walkthrough(self):
+        timeline = Timeline(_tiny_log())
+        mid = timeline.state_at(15)
+        assert mid.cpus[0].in_txn and mid.cpus[0].txn_since == 10
+        assert mid.bus_outstanding == 1      # request seen, data not yet
+
+        after_data = timeline.state_at(26)
+        assert after_data.bus_outstanding == 0
+        assert after_data.lines[(0, 0x10)] == ("M", 3)
+        assert after_data.cpus[0].defer_depth == 2
+
+        done = timeline.state_at(50)
+        assert not done.cpus[0].in_txn
+        assert done.cpus[0].commits == 1
+        assert done.cpus[0].defer_depth == 0
+        assert done.lines[(0, 0x10)] == ("S", 0)
+        assert timeline.txn_spans() == [(0, 10, 40, "commit")]
+
+    def test_interval_queries(self):
+        timeline = Timeline(_tiny_log())
+        touched = timeline.line_history(0x10, since=0, until=21)
+        assert [r.time for r in touched] == [12, 20, 20]
+        assert timeline.line_history(0x10, since=21) == \
+            timeline.line_history(0x10)[3:]
+        assert all(r.cpu == 0 for r in timeline.cpu_history(0))
+        assert timeline.cpu_history(1) == []
+
+    def test_real_run_state_is_sane(self):
+        recorded = record_run(_spec())
+        timeline = Timeline(recorded.log)
+        counts = timeline.counts()
+        assert counts["dispatch"] > 0 and counts["tap:commit"] > 0
+        final = timeline.state_at(timeline.final_time)
+        assert sum(c.commits for c in final.cpus.values()) > 0
+        # Lock lines derive from the header's lock addresses.
+        assert timeline.lock_lines
+        assert set(final.lock_owners) == set(timeline.lock_lines)
+        spans = timeline.txn_spans()
+        assert spans == sorted(spans, key=lambda s: (s[1], s[0]))
+        assert timeline.index_at(-1) == 0
+        assert timeline.index_at(timeline.final_time) == \
+            len(timeline.records)
+
+
+# ----------------------------------------------------------------------
+# VCD export
+# ----------------------------------------------------------------------
+class TestVcd:
+    def test_synthetic_signals(self):
+        out = io.StringIO()
+        changes = export_vcd(_tiny_log(), out)
+        text = out.getvalue()
+        assert changes > 0
+        assert "$timescale 1ns $end" in text
+        assert "cpu0_txn" in text and "cpu1_txn" in text
+        assert "bus_outstanding" in text
+        assert "lock_20_owner" in text         # line_of(0x100) == 0x20
+        assert text.rstrip().endswith("#50")   # final timestamp
+
+    def test_export_is_deterministic(self):
+        recorded = record_run(_spec())
+        a, b = io.StringIO(), io.StringIO()
+        export_vcd(recorded.log, a)
+        export_vcd(recorded.log, b)
+        assert a.getvalue() == b.getvalue()
+        assert "$date" not in a.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Kernel handle-lifetime audit (PR-5 free-list contract)
+# ----------------------------------------------------------------------
+class TestDebugHandles:
+    def test_clean_run_passes_with_compaction_active(self):
+        sim = Simulator(debug_handles=True,
+                        compact_dead_min=COMPACT_DEAD_MIN)
+        fired = []
+        cancelled = []
+        for t in range(1, 2 * COMPACT_DEAD_MIN):
+            handle = sim.schedule(t, fired.append, t)
+            if t % 2 == 1:
+                # Retaining a *cancelled* handle is legal (it never
+                # fires); enough of them to trigger lazy compaction.
+                cancelled.append(handle)
+        for handle in cancelled:
+            handle.cancel()
+        sim.run()
+        assert fired == list(range(2, 2 * COMPACT_DEAD_MIN, 2))
+
+    def test_retained_fired_handle_raises(self):
+        sim = Simulator(debug_handles=True)
+        kept = []
+        event = sim.schedule(5, lambda: None, label="leaky")
+        kept.append(event)  # a consumer wrongly retaining the handle
+        with pytest.raises(HandleLeakError, match="leaky"):
+            sim.run()
+
+    def test_recycling_still_audited_under_recorder(self):
+        """A full recorded machine run in debug mode: the recorder's
+        on_dispatch hook must not retain any Event."""
+        spec = _spec(ops=24)
+        machine = Machine(spec.config)
+        machine.sim.debug_handles = True
+        workload = spec.build_workload()
+        FlightRecorder(spec,
+                       locks=sorted(workload.lock_addrs)).attach(machine)
+        machine.run_workload(workload)  # must not raise HandleLeakError
+
+    def test_default_mode_off(self):
+        sim = Simulator()
+        assert sim.debug_handles is False
+        kept = [sim.schedule(1, lambda: None)]
+        sim.run()  # no audit, no error
+        assert kept
+
+
+# ----------------------------------------------------------------------
+# Per-consumer drop accounting on the shared tap layer
+# ----------------------------------------------------------------------
+class TestSharedTapDrops:
+    def _run_both(self, tracer, recorder_capacity):
+        spec = _spec(ops=48)
+        workload = spec.build_workload()
+        machine = Machine(spec.config)
+        tracer.attach(machine)
+        recorder = FlightRecorder(
+            spec, locks=sorted(workload.lock_addrs),
+            capacity=recorder_capacity).attach(machine)
+        machine.run_workload(workload)
+        return recorder
+
+    def test_ring_tracer_and_recorder_count_drops_independently(self):
+        tracer = Tracer(capacity=20, ring=True)
+        recorder = self._run_both(tracer, recorder_capacity=30)
+        # Both consumers saturated -- each tallied its own evictions.
+        assert tracer.dropped > 0
+        assert recorder.dropped > 0
+        assert sum(tracer.dropped_by_kind.values()) == tracer.dropped
+        assert sum(recorder.dropped_by_kind.values()) == recorder.dropped
+        # Ring mode keeps the *latest* window.
+        assert len(tracer.events) == 20
+
+    def test_saturated_tracer_costs_recorder_nothing(self):
+        tracer = Tracer(capacity=10, ring=True)
+        recorder = self._run_both(tracer, recorder_capacity=None)
+        assert tracer.dropped > 0
+        assert recorder.dropped == 0 and recorder.dropped_by_kind == {}
+        # The unsaturated recorder still produced a loadable log.
+        log = recorder.finish("0" * 64)
+        assert load_log(log).records
+
+    def test_bounded_recorder_keeps_dispatch_stream(self):
+        """Capacity drops tap/state/defer records, never the kernel
+        dispatch stream or the END summary."""
+        recorder = self._run_both(Tracer(capacity=100_000),
+                                  recorder_capacity=25)
+        log = recorder.finish("0" * 64)
+        image = load_log(log)
+        assert image.end is not None
+        dispatches = sum(1 for r in image.records if r.op == "dispatch")
+        assert dispatches > 25                     # never capped
+        assert recorder.dropped_by_kind           # taps were capped

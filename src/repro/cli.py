@@ -8,6 +8,7 @@ writing code, and runs individual workloads under chosen schemes::
     python -m repro run single-counter --scheme TLR --cpus 8 --ops 2048
     python -m repro coarse-vs-fine
     python -m repro policies --policy timestamp,backoff --jobs 4
+    python -m repro sched --schedulers rr,cfs --threads-per-cpu 2
     python -m repro verify --policy requester-wins --seeds 25
     python -m repro list
 
@@ -31,12 +32,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from typing import Optional
 
 from repro.harness import report
-from repro.harness.config import SystemConfig
+from repro.harness.config import SchedConfig, SystemConfig
 from repro.harness.experiments import (AppResult, PolicyGridResult,
-                                       SweepResult)
+                                       SchedGridResult, SweepResult)
 from repro.harness.jobs import JobResult, submit
 from repro.harness.parallel import FailedRun
 from repro.harness.runner import RunResult
@@ -168,6 +170,41 @@ def _build_parser() -> argparse.ArgumentParser:
     policies_cmd.add_argument("--base-seed", type=int, default=0)
     _engine_opts(policies_cmd)
 
+    sched_cmd = sub.add_parser(
+        "sched", help="preemptive-scheduler grid (schedulers x quanta "
+                      "x policies x workloads) with more threads than "
+                      "CPUs, every run oracle-checked")
+    sched_cmd.add_argument(
+        "--schedulers", type=str, default=None,
+        help="comma-separated scheduler cores (default: rr,mlfq,cfs)")
+    sched_cmd.add_argument(
+        "--quanta", type=str, default=None,
+        help="comma-separated timer quanta in cycles (default: 200,800)")
+    sched_cmd.add_argument(
+        "--policy", type=str, default=None,
+        help="comma-separated contention policies (default: "
+             "timestamp,nack)")
+    sched_cmd.add_argument(
+        "--workloads", type=str, default=None,
+        help="comma-separated workloads (default: single-counter, "
+             "linked-list)")
+    sched_cmd.add_argument("--cpus", type=int, default=4,
+                           help="runtime threads (thread contexts)")
+    sched_cmd.add_argument("--threads-per-cpu", type=int, default=2,
+                           help="multiplexing ratio: threads per CPU "
+                                "slot (cpus // this = slots)")
+    sched_cmd.add_argument("--migrate", action="store_true",
+                           help="allow threads to resume on any slot "
+                                "(pay the migration penalty)")
+    sched_cmd.add_argument("--seeds", type=int, default=2,
+                           help="seeds per grid cell")
+    sched_cmd.add_argument("--ops", type=int, default=96,
+                           help="microbenchmark size per run")
+    sched_cmd.add_argument("--app-scale", type=int, default=12,
+                           help="application-kernel scale per run")
+    sched_cmd.add_argument("--base-seed", type=int, default=0)
+    _engine_opts(sched_cmd)
+
     trend_cmd = sub.add_parser(
         "trend", help="diff BENCH_*.json artifacts against a baseline "
                       "git ref (or artifact directory); exits non-zero "
@@ -232,6 +269,11 @@ def _build_parser() -> argparse.ArgumentParser:
     cache_cmd.add_argument("--prune", action="store_true",
                            help="remove entries from superseded "
                                 "fingerprint-schema versions")
+    cache_cmd.add_argument("--ttl", type=float, default=None,
+                           metavar="SECONDS",
+                           help="with --prune: also evict current-"
+                                "version entries older than SECONDS "
+                                "(by mtime, oldest first)")
     cache_cmd.add_argument("--clear", action="store_true",
                            help="remove every entry (all versions)")
     cache_cmd.add_argument("--stats", action="store_true",
@@ -278,6 +320,21 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="capture the run's binary record log to "
                              "PATH (always executes: recorded runs "
                              "never replay from the cache)")
+    runner.add_argument("--sched", type=str, default=None,
+                        metavar="SCHEDULER",
+                        help="preemptive scheduler core (rr|mlfq|cfs): "
+                             "multiplex the threads over fewer CPU "
+                             "slots, preempting at instruction "
+                             "boundaries")
+    runner.add_argument("--quantum", type=int, default=200,
+                        help="scheduler time slice in cycles "
+                             "(default 200)")
+    runner.add_argument("--threads-per-cpu", type=int, default=2,
+                        help="multiplexing ratio for --sched: threads "
+                             "sharing one CPU slot (default 2)")
+    runner.add_argument("--migrate", action="store_true",
+                        help="with --sched: let threads run on any "
+                             "slot instead of a pinned home slot")
     _engine_opts(runner)
 
     replay_cmd = sub.add_parser(
@@ -301,6 +358,12 @@ def _build_parser() -> argparse.ArgumentParser:
     replay_cmd.add_argument("--spans", action="store_true",
                             help="list transaction windows "
                                  "(cpu, begin, end, outcome)")
+    replay_cmd.add_argument("--sched", action="store_true",
+                            help="list scheduler slot-occupancy windows "
+                                 "(slot, thread, on, off) from the "
+                                 "OP_SCHED records; with --seek, "
+                                 "state_at already shows who was "
+                                 "on-CPU at that cycle")
     replay_cmd.add_argument("--counts", action="store_true",
                             help="histogram of record ops / tap kinds")
     replay_cmd.add_argument("--dump", action="store_true",
@@ -424,6 +487,14 @@ def _do_replay(args) -> int:
         queried = True
         for cpu, begin, end, outcome in timeline.txn_spans():
             print(f"cpu{cpu}: t={begin}..{end} ({outcome})")
+    if args.sched:
+        queried = True
+        spans = timeline.sched_spans()
+        if not spans:
+            print("no scheduler records (scheduler-off log)")
+        for slot, thread, on, off in spans:
+            print(f"slot{slot}: thread{thread} t={on}..{off} "
+                  f"({off - on} cycles)")
     if args.counts:
         queried = True
         for key, count in sorted(timeline.counts().items()):
@@ -588,6 +659,47 @@ def main(argv: Optional[list[str]] = None) -> int:
             _print_telemetry(job)
         return 0 if grid.ok else 1
 
+    if args.command == "sched":
+        from repro.policies import POLICY_NAMES
+        from repro.sched import KNOWN_SCHEDULERS
+        schedulers = (tuple(args.schedulers.split(","))
+                      if args.schedulers else None)
+        for name in schedulers or ():
+            if name not in KNOWN_SCHEDULERS:
+                print(f"unknown scheduler {name}; one of "
+                      f"{' '.join(KNOWN_SCHEDULERS)}", file=sys.stderr)
+                return 2
+        policies = (tuple(args.policy.split(","))
+                    if args.policy else None)
+        for name in policies or ():
+            if name not in POLICY_NAMES:
+                print(f"unknown policy {name}; one of "
+                      f"{' '.join(POLICY_NAMES)}", file=sys.stderr)
+                return 2
+        workloads = (tuple(args.workloads.split(","))
+                     if args.workloads else None)
+        for name in workloads or ():
+            if name not in WORKLOAD_BUILDERS:
+                print(f"unknown workload {name}; one of "
+                      f"{' '.join(sorted(WORKLOAD_BUILDERS))}",
+                      file=sys.stderr)
+                return 2
+        quanta = (tuple(int(q) for q in args.quanta.split(","))
+                  if args.quanta else None)
+        job = _submit(JobSpec.sched(
+            schedulers=schedulers, quanta=quanta, policies=policies,
+            workloads=workloads, num_cpus=args.cpus,
+            threads_per_cpu=args.threads_per_cpu, migrate=args.migrate,
+            seeds=args.seeds, ops=args.ops, app_scale=args.app_scale,
+            base_seed=args.base_seed), args)
+        grid = SchedGridResult.from_dict(job.result)
+        if args.json:
+            print(json.dumps(job.result, indent=2))
+        else:
+            print(report.sched_grid_table(grid))
+            _print_telemetry(job)
+        return 0 if grid.ok else 1
+
     if args.command == "trend":
         from repro.harness import trend
         if args.ref and args.against:
@@ -634,6 +746,16 @@ def main(argv: Optional[list[str]] = None) -> int:
                          if args.ops is not None else {})
         config = SystemConfig(num_cpus=args.cpus, scheme=scheme,
                               seed=args.seed)
+        if args.sched:
+            from repro.sched import KNOWN_SCHEDULERS
+            if args.sched not in KNOWN_SCHEDULERS:
+                print(f"unknown scheduler {args.sched}; one of "
+                      f"{' '.join(KNOWN_SCHEDULERS)}", file=sys.stderr)
+                return 2
+            config = replace(config, sched=SchedConfig(
+                scheduler=args.sched, quantum=args.quantum,
+                threads_per_cpu=args.threads_per_cpu,
+                migrate=args.migrate))
         spec = RunSpec(workload=args.workload, config=config,
                        workload_args=workload_args)
         if args.record:
@@ -724,8 +846,13 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(f"removed {store.clear()} entries from {store.root}")
             return 0
         if args.prune:
-            print(f"pruned {store.prune()} superseded entries "
-                  f"from {store.root}")
+            removed = store.prune(ttl=args.ttl)
+            what = ("superseded/expired" if args.ttl is not None
+                    else "superseded")
+            print(f"pruned {removed} {what} entries from {store.root}")
+        elif args.ttl is not None:
+            print("--ttl requires --prune", file=sys.stderr)
+            return 2
         print(f"cache root: {store.root}")
         print(f"current schema: {store.version_dir.name} "
               f"({len(store)} entries)")

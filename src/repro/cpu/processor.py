@@ -89,6 +89,10 @@ class Processor:
         # Optional metrics collector (repro.obs.MachineMetrics); None in
         # normal runs so restarts pay only an attribute test.
         self.obs = None
+        # Optional completion callback (the repro.sched engine refills a
+        # freed CPU slot immediately instead of waiting for its next
+        # timer tick); None unless a scheduler is attached.
+        self.on_finish = None
         # Hot-path constants and precomputed event labels (f-string
         # construction showed up in profiles at one label per event).
         self._hit_latency = config.cache.hit_latency
@@ -229,6 +233,8 @@ class Processor:
         self.done = True
         self.stats.finish_time = self.sim.now
         self.gen = None
+        if self.on_finish is not None:
+            self.on_finish(self)
 
     # ------------------------------------------------------------------
     # Op dispatch

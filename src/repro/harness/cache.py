@@ -117,10 +117,14 @@ class ResultCache:
             self._pruned = True
             self.prune()
 
-    def prune(self) -> int:
+    def prune(self, ttl: Optional[float] = None) -> int:
         """Remove entries that can never be hit again: files under
         superseded ``v<N>`` directories and entries from the original
-        unversioned layout (``<root>/<xx>/<fp>.json``).  Returns the
+        unversioned layout (``<root>/<xx>/<fp>.json``).  With ``ttl``
+        (seconds), *current-version* entries older than that are evicted
+        too, oldest first by modification time (``put`` rewrites the
+        file, so the mtime is the last time the entry was produced --
+        TTL eviction ages out results nobody regenerates).  Returns the
         number of entry files removed."""
         removed = 0
         if not self.root.is_dir():
@@ -134,6 +138,23 @@ class ResultCache:
                 continue
             removed += sum(1 for _ in child.rglob("*.json"))
             shutil.rmtree(child, ignore_errors=True)
+        if ttl is not None and self.version_dir.is_dir():
+            import time
+            cutoff = time.time() - ttl
+            aged = []
+            for path in self.version_dir.glob("*/*.json"):
+                try:
+                    mtime = path.stat().st_mtime
+                except OSError:
+                    continue
+                if mtime < cutoff:
+                    aged.append((mtime, path))
+            for _mtime, path in sorted(aged):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         return removed
 
     def clear(self) -> int:

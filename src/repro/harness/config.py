@@ -183,6 +183,53 @@ class SpeculationConfig:
 
 
 @dataclass
+class SchedConfig:
+    """Preemptive OS-scheduler knobs (see :mod:`repro.sched`).
+
+    The default (``scheduler="none"``) disables the subsystem entirely:
+    no engine is constructed, no timer events are scheduled, and runs
+    stay bit-identical to the golden fingerprints.  With a scheduler
+    selected, N workload threads multiplex over
+    ``M = num_cpus // threads_per_cpu`` CPU slots; a preempted thread's
+    in-flight elision is aborted (the paper's context-switch stress).
+    """
+
+    #: "none" (off), or one of repro.sched.core.KNOWN_SCHEDULERS:
+    #: "rr" (round-robin), "mlfq", "cfs".
+    scheduler: str = "none"
+    #: Timer-interrupt period in cycles (also the base timeslice).
+    quantum: int = 2_000
+    #: Hardware thread contexts sharing one CPU slot (1 = no
+    #: multiplexing; 2 = half the contexts run at any instant, ...).
+    threads_per_cpu: int = 1
+    #: Allow slots to steal ready threads homed elsewhere.
+    migrate: bool = False
+    #: Cycles charged before a non-initial switch-in resumes.
+    context_switch_penalty: int = 30
+    #: Extra cycles when the resume lands on a different slot.
+    migration_penalty: int = 50
+
+    #: Mirrors repro.sched.core.KNOWN_SCHEDULERS plus the off switch (a
+    #: unit test keeps the two in sync; importing would be a cycle).
+    KNOWN_SCHEDULERS = ("none", "rr", "mlfq", "cfs")
+
+    @property
+    def enabled(self) -> bool:
+        return self.scheduler != "none"
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in self.KNOWN_SCHEDULERS:
+            raise ValueError(f"bad scheduler {self.scheduler!r}; "
+                             f"known: {list(self.KNOWN_SCHEDULERS)}")
+        if self.quantum < 1:
+            raise ValueError("quantum must be >= 1 cycle")
+        if self.threads_per_cpu < 1:
+            raise ValueError("threads_per_cpu must be >= 1")
+        if self.context_switch_penalty < 0 or self.migration_penalty < 0:
+            raise ValueError("switch/migration penalties must be >= 0")
+
+
+@dataclass
 class SystemConfig:
     """Everything needed to build a simulated machine."""
 
@@ -212,6 +259,14 @@ class SystemConfig:
     # Used by ``repro.verify`` to widen interleaving coverage per seed.
     schedule_chaos: int = 0
     max_cycles: int | None = 500_000_000
+    # Preemptive scheduling overlay (repro.sched); off by default so
+    # existing configs keep one pinned thread per processor.
+    sched: SchedConfig = field(default_factory=SchedConfig)
+
+    def with_scheduler(self, scheduler: str, **knobs) -> "SystemConfig":
+        """A copy of this config under a different scheduler setup."""
+        return replace(self, sched=replace(self.sched, scheduler=scheduler,
+                                           **knobs))
 
     def with_scheme(self, scheme: SyncScheme) -> "SystemConfig":
         """A copy of this config under a different sync scheme."""

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional, Sequence
 
 from repro.harness import parallel
-from repro.harness.config import SyncScheme, SystemConfig
+from repro.harness.config import SchedConfig, SyncScheme, SystemConfig
 from repro.harness.parallel import FailedRun
 from repro.harness.runner import RunResult
 from repro.harness.spec import (SIZE_PARAM, RunSpec, check_schema,
@@ -643,6 +643,196 @@ def policy_grid(policies: Optional[Sequence[str]] = None,
             # (this is what BENCH_policies.json publishes per policy).
             "metrics": per_seed[0].metrics,
         }
+    wall = _time.perf_counter() - started
+    busy = sum(r.elapsed for r in results)
+    _LAST_TELEMETRY = {
+        "total_runs": len(results),
+        "simulated": len(results) - cache_hits,
+        "cache_hits": cache_hits,
+        "retries": 0,
+        "failures": sum(1 for r in results if not r.ok),
+        "jobs": jobs,
+        "wall_seconds": wall,
+        "busy_seconds": busy,
+        "utilization": min(1.0, busy / (max(1, jobs) * wall))
+        if wall > 0 else 0.0,
+    }
+    return grid
+
+
+# ----------------------------------------------------------------------
+# Scheduler lab: schedulers x quanta x policies x workloads, preemptive
+# ----------------------------------------------------------------------
+DEFAULT_SCHED_GRID_SCHEDULERS = ("rr", "mlfq", "cfs")
+DEFAULT_SCHED_GRID_QUANTA = (200, 800)
+DEFAULT_SCHED_GRID_POLICIES = ("timestamp", "nack")
+DEFAULT_SCHED_GRID_WORKLOADS = ("single-counter", "linked-list")
+
+#: sched.* counters lifted from each cell's metrics payload into the
+#: cell itself, so BENCH_sched.json readers (and the trend gate) see
+#: them without digging through histograms.
+_SCHED_CELL_COUNTERS = ("preemptions", "migrations",
+                        "context_switch_aborts")
+
+
+@dataclass
+class SchedGridResult:
+    """Preemptive-scheduler grid: every cell is one (scheduler, quantum,
+    policy, workload) point run with more runtime threads than CPU slots
+    (``threads_per_cpu`` > 1), ``seeds`` times, through the *verifier*
+    -- timer interrupts land inside critical sections and speculative
+    regions, and the oracle plus the invariant monitors judge every
+    run.  Cells carry the context-switch-abort / preemption counters so
+    the cost of preempting an elision mid-flight is measurable.
+    """
+
+    schedulers: list[str]
+    quanta: list[int]
+    policies: list[str]
+    workloads: list[str]
+    seeds: int
+    num_cpus: int
+    threads_per_cpu: int
+    cells: dict[str, dict] = field(default_factory=dict)
+
+    @staticmethod
+    def key(scheduler: str, quantum: int, policy: str,
+            workload: str) -> str:
+        return f"{scheduler}/q{quantum}/{policy}/{workload}"
+
+    def cell(self, scheduler: str, quantum: int, policy: str,
+             workload: str) -> dict:
+        return self.cells[self.key(scheduler, quantum, policy, workload)]
+
+    @property
+    def ok(self) -> bool:
+        return all(cell["ok"] for cell in self.cells.values())
+
+    @property
+    def failures(self) -> list[str]:
+        return [key for key, cell in self.cells.items() if not cell["ok"]]
+
+    # -- serialization (stable public contract) ------------------------
+    def to_dict(self) -> dict:
+        return stamp_schema({
+            "schedulers": list(self.schedulers),
+            "quanta": list(self.quanta),
+            "policies": list(self.policies),
+            "workloads": list(self.workloads),
+            "seeds": self.seeds,
+            "num_cpus": self.num_cpus,
+            "threads_per_cpu": self.threads_per_cpu,
+            "cells": {k: dict(v) for k, v in self.cells.items()}})
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SchedGridResult":
+        check_schema(data, "SchedGridResult")
+        return cls(schedulers=list(data["schedulers"]),
+                   quanta=list(data["quanta"]),
+                   policies=list(data["policies"]),
+                   workloads=list(data["workloads"]),
+                   seeds=data.get("seeds", 1),
+                   num_cpus=data.get("num_cpus", 4),
+                   threads_per_cpu=data.get("threads_per_cpu", 2),
+                   cells={k: dict(v)
+                          for k, v in (data.get("cells") or {}).items()})
+
+
+@register_experiment("sched", "preemptive-scheduler grid (schedulers x "
+                              "quanta x policies x workloads, threads > "
+                              "CPUs), every run oracle-checked")
+def sched_grid(schedulers: Optional[Sequence[str]] = None,
+               quanta: Optional[Sequence[int]] = None,
+               policies: Optional[Sequence[str]] = None,
+               workloads: Optional[Sequence[str]] = None,
+               num_cpus: int = 4,
+               threads_per_cpu: int = 2,
+               migrate: bool = False,
+               seeds: int = 2,
+               ops: int = 96,
+               app_scale: int = 12,
+               base_seed: int = 0,
+               config: Optional[SystemConfig] = None, *,
+               jobs: int = 1,
+               timeout: Optional[float] = None,
+               cache=None,
+               retries: Optional[int] = None,
+               validate: bool = True) -> SchedGridResult:
+    """Stress lock elision under preemptive scheduling.
+
+    Every grid cell runs TLR with ``num_cpus`` runtime threads
+    multiplexed over ``num_cpus // threads_per_cpu`` CPU slots by the
+    named scheduler -- so timer interrupts preempt threads *inside*
+    critical sections and speculative regions, aborting in-flight
+    elision (the counters each cell carries quantify how often).  The
+    full :mod:`repro.verify` instrumentation judges every run: a
+    schedule that breaks serializability or starves a thread fails its
+    cell.
+    """
+    del retries  # verification failures are findings, never retried
+    from repro.verify import VerifyOptions, verify_specs
+    global _LAST_TELEMETRY
+    base = config or SystemConfig()
+    schedulers = (tuple(schedulers) if schedulers
+                  else DEFAULT_SCHED_GRID_SCHEDULERS)
+    quanta = tuple(quanta) if quanta else DEFAULT_SCHED_GRID_QUANTA
+    policies = (tuple(policies) if policies
+                else DEFAULT_SCHED_GRID_POLICIES)
+    workloads = (tuple(workloads) if workloads
+                 else DEFAULT_SCHED_GRID_WORKLOADS)
+    options = VerifyOptions()
+    keys: list[tuple[str, int, str, str]] = []
+    specs: list[RunSpec] = []
+    for scheduler in schedulers:
+        for quantum in quanta:
+            for policy in policies:
+                for workload in workloads:
+                    size_key = SIZE_PARAM[workload]
+                    size = app_scale if size_key == "scale" else ops
+                    keys.append((scheduler, quantum, policy, workload))
+                    for s in range(seeds):
+                        cfg = replace(
+                            base.with_scheme(SyncScheme.TLR)
+                                .with_policy(policy),
+                            num_cpus=num_cpus, seed=base_seed + s,
+                            sched=SchedConfig(
+                                scheduler=scheduler, quantum=quantum,
+                                threads_per_cpu=threads_per_cpu,
+                                migrate=migrate))
+                        specs.append(RunSpec(
+                            workload=workload, config=cfg,
+                            workload_args={size_key: size},
+                            validate=validate))
+    import time as _time
+    started = _time.perf_counter()
+    results, cache_hits = verify_specs(specs, options=options, jobs=jobs,
+                                       timeout=timeout, cache=cache)
+    grid = SchedGridResult(schedulers=list(schedulers),
+                           quanta=list(quanta),
+                           policies=list(policies),
+                           workloads=list(workloads),
+                           seeds=seeds, num_cpus=num_cpus,
+                           threads_per_cpu=threads_per_cpu)
+    for i, (scheduler, quantum, policy, workload) in enumerate(keys):
+        per_seed = results[i * seeds:(i + 1) * seeds]
+        violations = [v for r in per_seed for v in r.violations]
+        errors = [r.error for r in per_seed if r.error]
+        cell = {
+            "ok": all(r.ok for r in per_seed),
+            "cycles": per_seed[0].cycles,
+            "num_txns": sum(r.num_txns for r in per_seed),
+            "violations": violations[:4],
+            "error": errors[0] if errors else None,
+            "summary": dict(per_seed[0].summary),
+            "metrics": per_seed[0].metrics,
+        }
+        # Summed over seeds: one seed with zero preemptions must not
+        # hide another that aborted elisions all run long.
+        for name in _SCHED_CELL_COUNTERS:
+            cell[name] = sum(
+                ((r.metrics or {}).get("counters") or {})
+                .get(f"sched.{name}", 0) for r in per_seed)
+        grid.cells[grid.key(scheduler, quantum, policy, workload)] = cell
     wall = _time.perf_counter() - started
     busy = sum(r.elapsed for r in results)
     _LAST_TELEMETRY = {

@@ -130,13 +130,15 @@ def _execute_job(spec: JobSpec, *, jobs: int, timeout: Optional[float],
         # Lazy import: perf is a leaf module the hot path never needs.
         from repro.harness import perf
         return perf.run_perf(**dict(spec.params)), None
-    # "sweep" and "verify" both run a registered experiment; verify is
-    # its own kind because its params/result contract is distinct, not
-    # because it executes differently.
+    # "sweep", "verify" and "sched" all run a registered experiment;
+    # verify/sched are their own kinds because their params/result
+    # contracts are distinct, not because they execute differently.
     from repro.harness import experiments
     params = _decode_params(spec.params)
     if spec.kind == "sweep":
         experiment = get_experiment(params.pop("experiment"))
+    elif spec.kind == "sched":
+        experiment = get_experiment("sched")
     else:
         experiment = get_experiment("verify")
     value = experiment.runner(**params, jobs=jobs, timeout=timeout,

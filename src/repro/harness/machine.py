@@ -62,6 +62,13 @@ class Machine:
         self.controllers: list[CacheController] = []
         self.processors: list[Processor] = []
         self.envs: list[ThreadEnv] = []
+        # Preemptive-scheduler overlay (repro.sched): constructed inside
+        # run_workload when config.sched is enabled, None otherwise.
+        # Observers (the flight recorder) append (time, kind, slot,
+        # thread) callbacks to sched_listeners at attach time; with the
+        # scheduler off nothing ever calls them.
+        self.sched_engine = None
+        self.sched_listeners: list = []
         for cpu_id in range(config.num_cpus):
             controller = CacheController(cpu_id, self.sim, self.bus,
                                          self.datanet, config,
@@ -111,9 +118,12 @@ class Machine:
                      validate: bool = True) -> SimStats:
         """Execute all of the workload's threads to completion.
 
-        Threads beyond ``num_cpus`` are rejected (this model maps one
-        thread per processor; the stability experiments use explicit
-        deschedule/reschedule instead of time multiplexing).
+        Threads beyond ``num_cpus`` are rejected: every thread keeps a
+        hardware context (cache, write buffer, speculation state).  To
+        run more threads than *CPUs*, enable ``config.sched`` -- the
+        preemptive overlay multiplexes the contexts over
+        ``num_cpus // threads_per_cpu`` slots, preempting (and thereby
+        aborting the elision of) whoever holds a slot too long.
         """
         if workload.num_threads > self.config.num_cpus:
             raise ValueError(
@@ -129,6 +139,12 @@ class Machine:
             self.envs.append(env)
             self.processors[cpu_id].run_program(
                 factory(env), start_delay=stagger.randint(0, 50))
+        if self.config.sched.enabled:
+            # Lazy import: the overlay is a leaf the pinned hot path
+            # (scheduler off, the golden-fingerprint mode) never needs.
+            from repro.sched import SchedEngine
+            self.sched_engine = SchedEngine(self, workload.num_threads)
+            self.sched_engine.start()
         self.sim.run()
         self.stats.total_cycles = max(
             (self.stats.cpu(i).finish_time

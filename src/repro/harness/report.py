@@ -13,7 +13,7 @@ from typing import Iterable, Mapping, Optional
 
 from repro.harness.config import SyncScheme
 from repro.harness.experiments import (AppResult, PolicyGridResult,
-                                       SweepResult)
+                                       SchedGridResult, SweepResult)
 
 
 def _cell(value) -> str:
@@ -141,6 +141,45 @@ def policy_grid_table(result: PolicyGridResult) -> str:
                 mark = "" if cell["ok"] else "!"
                 row += f"{str(cell['cycles']) + mark:>10}"
             lines.append(row)
+        lines.append("")
+    if result.failures:
+        lines.append(f"{len(result.failures)} cell(s) failed "
+                     "verification:")
+        for key in result.failures:
+            cell = result.cells[key]
+            problem = cell["error"] or (cell["violations"][0]
+                                        if cell["violations"] else "?")
+            lines.append(f"  {key}: {problem}")
+    return "\n".join(lines)
+
+
+def sched_grid_table(result: SchedGridResult) -> str:
+    """The preemptive-scheduler grid: one block per workload, one row
+    per (scheduler, quantum), cycles plus the preemption /
+    context-switch-abort counts per contention policy.  A cell whose
+    runs failed verification prints with a ``!`` marker."""
+    lines = [f"{result.num_cpus} threads over "
+             f"{max(1, result.num_cpus // result.threads_per_cpu)} CPU "
+             f"slot(s), {result.seeds} seed(s)/cell "
+             f"(cycles/preempt/cs-abort; ! = failed verification)"]
+    lines.append("")
+    for workload in result.workloads:
+        lines.append(workload)
+        header = f"{'scheduler':<14}" + "".join(
+            f"{policy:>26}" for policy in result.policies)
+        lines.append(header)
+        for scheduler in result.schedulers:
+            for quantum in result.quanta:
+                row = f"{scheduler + '/q' + str(quantum):<14}"
+                for policy in result.policies:
+                    cell = result.cell(scheduler, quantum, policy,
+                                       workload)
+                    mark = "" if cell["ok"] else "!"
+                    row += (f"{cell['cycles']}"
+                            f"/{cell.get('preemptions', 0)}"
+                            f"/{cell.get('context_switch_aborts', 0)}"
+                            f"{mark}").rjust(26)
+                lines.append(row)
         lines.append("")
     if result.failures:
         lines.append(f"{len(result.failures)} cell(s) failed "

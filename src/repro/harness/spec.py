@@ -24,8 +24,8 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Callable, Optional
 
 from repro.harness.config import (BusConfig, CacheConfig, DirectoryConfig,
-                                  MemoryConfig, SpeculationConfig, SyncScheme,
-                                  SystemConfig)
+                                  MemoryConfig, SchedConfig,
+                                  SpeculationConfig, SyncScheme, SystemConfig)
 from repro.runtime.program import Workload
 from repro.workloads.apps import ALL_APPS, mp3d
 from repro.workloads.litmus import (LITMUS_WORKLOADS, litmus_atomicity,
@@ -42,7 +42,9 @@ from repro.workloads.microbench import (linked_list, multiple_counter,
 #     silently come back without telemetry.
 # v5: every result ``to_dict`` is schema-stamped (``"schema"`` field,
 #     checked by ``from_dict``); pre-v5 payloads lack the stamp.
-FINGERPRINT_VERSION = 5
+# v6: SystemConfig grew ``sched`` (repro.sched preemptive scheduler);
+#     the knobs change simulated schedules, so they must key the cache.
+FINGERPRINT_VERSION = 6
 
 
 # ----------------------------------------------------------------------
@@ -163,6 +165,9 @@ def config_from_dict(data: dict) -> SystemConfig:
         metrics=data.get("metrics", True),
         schedule_chaos=data.get("schedule_chaos", 0),
         max_cycles=data["max_cycles"],
+        # Pre-v6 images have no "sched" key; the default is the off
+        # switch, which is behaviourally identical to what they ran.
+        sched=SchedConfig(**(data.get("sched") or {})),
     )
 
 
@@ -235,8 +240,9 @@ JOBSPEC_SCHEMA = 1
 #: :class:`RunSpec`; ``sweep`` names a registered experiment plus its
 #: parameters (covers the figure/table sweeps and the policy grid);
 #: ``verify`` is the verification suite; ``perf`` a throughput
-#: measurement.
-JOB_KINDS = ("run", "sweep", "verify", "perf")
+#: measurement; ``sched`` the preemptive-scheduler grid (its own kind
+#: so the service can route and rate it separately from sweeps).
+JOB_KINDS = ("run", "sweep", "verify", "perf", "sched")
 
 
 @dataclass
@@ -254,6 +260,12 @@ class JobSpec:
 
     kind: str
     params: dict = field(default_factory=dict)
+    #: Queue priority (``repro serve``): higher runs first, ties FIFO.
+    #: Deliberately *excluded* from :meth:`fingerprint` -- priority is
+    #: how urgently a job runs, never what it computes, so a high- and
+    #: a low-priority submission of the same work coalesce and share
+    #: one cache entry.
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -263,6 +275,9 @@ class JobSpec:
             raise TypeError(
                 f"JobSpec params must be a dict, got "
                 f"{type(self.params).__name__}")
+        if not isinstance(self.priority, int) or isinstance(self.priority,
+                                                            bool):
+            raise TypeError("JobSpec priority must be an int")
 
     # -- constructors ---------------------------------------------------
     @classmethod
@@ -295,6 +310,15 @@ class JobSpec:
         :func:`repro.harness.perf.run_perf`)."""
         return cls(kind="perf", params=params)
 
+    @classmethod
+    def sched(cls, **params) -> "JobSpec":
+        """A preemptive-scheduler grid job (see
+        :func:`repro.harness.experiments.sched_grid`).  ``config`` may
+        be a :class:`~repro.harness.config.SystemConfig`."""
+        if isinstance(params.get("config"), SystemConfig):
+            params["config"] = config_to_dict(params["config"])
+        return cls(kind="sched", params=params)
+
     # -- properties -----------------------------------------------------
     @property
     def cacheable(self) -> bool:
@@ -311,9 +335,12 @@ class JobSpec:
 
     # -- serialization --------------------------------------------------
     def to_dict(self) -> dict:
-        return {"schema": JOBSPEC_SCHEMA,
-                "kind": self.kind,
-                "params": dict(self.params)}
+        payload = {"schema": JOBSPEC_SCHEMA,
+                   "kind": self.kind,
+                   "params": dict(self.params)}
+        if self.priority:
+            payload["priority"] = self.priority
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "JobSpec":
@@ -322,7 +349,8 @@ class JobSpec:
             raise SchemaError(
                 f"JobSpec payload has schema v{version}, this code "
                 f"speaks v{JOBSPEC_SCHEMA}")
-        return cls(kind=data["kind"], params=dict(data.get("params") or {}))
+        return cls(kind=data["kind"], params=dict(data.get("params") or {}),
+                   priority=int(data.get("priority", 0)))
 
     def fingerprint(self) -> str:
         """Deterministic digest of everything that determines the job's

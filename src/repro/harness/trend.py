@@ -31,7 +31,11 @@ ARTIFACT_PREFIX = "BENCH_"
 #: Top-level artifact keys that are not comparable results.
 _SKIP_TOP_LEVEL = {"bench", "config", "wall_seconds"}
 
-LOWER_IS_BETTER = ("cycles", "slowdown", "wall_s")
+# Substring-matched against the flattened metric path.  Scheduler
+# counters read "lower is better": fewer preemptions and context-switch
+# aborts mean less work thrown away for the same verified result.
+LOWER_IS_BETTER = ("cycles", "slowdown", "wall_s",
+                   "context_switch_aborts", "preemptions")
 HIGHER_IS_BETTER = ("speedup", "events_per_sec")
 
 

@@ -161,6 +161,27 @@ class MachineMetrics:
         self._restart_streak.observe(streak)
 
     # ------------------------------------------------------------------
+    # Scheduler hooks (repro.sched)
+    # ------------------------------------------------------------------
+    # Resolved lazily (get-or-create at event time) rather than in
+    # __init__: with the scheduler off nothing fires, so scheduler-off
+    # metrics payloads carry no sched.* instruments at all.
+    def on_sched_preempt(self, slot: int, thread: int, ran: int,
+                         aborted: bool) -> None:
+        """A timer interrupt preempted ``thread`` after ``ran`` on-CPU
+        cycles; ``aborted`` when it was speculating (context-switch
+        abort, the paper's stress mode)."""
+        self.registry.counter("sched.preemptions").inc()
+        self.registry.histogram("sched.timeslice",
+                                LATENCY_BUCKETS).observe(ran)
+        if aborted:
+            self.registry.counter("sched.context_switch_aborts").inc()
+
+    def on_sched_migrate(self, thread: int, from_slot: int,
+                         to_slot: int) -> None:
+        self.registry.counter("sched.migrations").inc()
+
+    # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
     def finalize(self, machine: Optional["Machine"] = None) -> dict:
@@ -181,6 +202,20 @@ class MachineMetrics:
                 stats.total("elisions_committed"))
             self.registry.counter("txn.lock_fallbacks").inc(
                 stats.total("lock_fallbacks"))
+            engine = getattr(machine, "sched_engine", None)
+            if engine is not None:
+                # Per-thread (not per-CPU) latency attribution: how many
+                # cycles each workload thread actually held a CPU slot,
+                # and how many it spent descheduled or switching
+                # (finish time minus on-CPU time).
+                self.registry.gauge("sched.slots").set(engine.slots)
+                for thread, oncpu in sorted(engine.oncpu.items()):
+                    finish = stats.cpu(thread).finish_time
+                    self.registry.gauge(
+                        f"sched.thread.t{thread}.oncpu").set(oncpu)
+                    self.registry.gauge(
+                        f"sched.thread.t{thread}.offcpu").set(
+                        max(0, finish - oncpu))
         payload = self.registry.to_dict()
         if machine is not None and machine.controllers:
             payload["meta"] = {

@@ -45,13 +45,16 @@ MAGIC = b"RPRL"
 
 #: Format generation.  Bump whenever the record layout, the opcode set
 #: or the header contract changes -- and add the migration note below.
-LOG_SCHEMA = 1
+LOG_SCHEMA = 2
 
 #: One entry per format generation ever shipped: version -> what
 #: changed and how to handle old logs.  CI gates on completeness.
 SCHEMA_HISTORY: dict[int, str] = {
     1: "initial format: dispatch/tap/state/defer records, inline "
        "string interning, delta times, trailing CRC-32.",
+    2: "added OP_SCHED (0x06): scheduler switch-in/out/migration "
+       "records from repro.sched.  v1 logs contain no such records; "
+       "re-record from the embedded spec to upgrade.",
 }
 
 # Opcodes.
@@ -62,6 +65,7 @@ OP_TAP = 0x03        # varint dt, varint cpu+1, varint kind_id,
 OP_STATE = 0x04      # varint dt, varint cpu+1, varint line,
                      # u8 state index, u8 access flags
 OP_DEFER = 0x05      # varint dt, varint cpu+1, u8 op, varint depth
+OP_SCHED = 0x06      # varint dt, u8 kind, varint slot+1, varint thread+1
 OP_END = 0xFF        # varint final_time, varint events_fired,
                      # u8 fp len, fingerprint bytes
 
@@ -73,6 +77,10 @@ STATE_ABSENT = 5
 #: ``OP_DEFER`` edit kinds.
 DEFER_PUSH = 0
 DEFER_DRAIN = 1
+
+#: ``OP_SCHED`` kinds (mirrors repro.sched.engine.SCHED_*: a unit test
+#: keeps the vocabularies in sync without an import cycle).
+SCHED_KIND_NAMES = ("switch-in", "switch-out", "migrate")
 
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
@@ -188,6 +196,15 @@ class LogWriter:
         self._emit(bytes(out))
         self.records += 1
 
+    def sched(self, time: int, kind: int, slot: int, thread: int) -> None:
+        out = bytearray((OP_SCHED,))
+        self._delta(out, time)
+        out.append(kind)
+        _pack_varint(out, slot + 1)
+        _pack_varint(out, thread + 1)
+        self._emit(bytes(out))
+        self.records += 1
+
     def end(self, final_time: int, events_fired: int,
             fingerprint: str) -> None:
         raw = fingerprint.encode("ascii")
@@ -208,10 +225,12 @@ class LogWriter:
 class LogRecord:
     """One decoded record, with interned strings resolved.
 
-    ``op`` is ``"dispatch"``/``"tap"``/``"state"``/``"defer"``; the
-    remaining fields are populated per kind (``None`` where a kind has
-    no such field).  ``label`` carries the dispatch label or the tap
-    kind; for state records it is the state letter.
+    ``op`` is ``"dispatch"``/``"tap"``/``"state"``/``"defer"``/
+    ``"sched"``; the remaining fields are populated per kind (``None``
+    where a kind has no such field).  ``label`` carries the dispatch
+    label or the tap kind; for state records it is the state letter.
+    Sched records reuse ``cpu`` for the CPU *slot* and ``ref`` for the
+    workload thread; ``label`` is the :data:`SCHED_KIND_NAMES` entry.
     """
 
     op: str
@@ -238,6 +257,9 @@ class LogRecord:
             extra = (f" {'push' if self.flags == DEFER_PUSH else 'drain'}"
                      f" depth={self.depth}")
             return f"{self.time:>9} {self.op:<9}{who}{extra}"
+        if self.op == "sched":
+            return (f"{self.time:>9} {self.op:<9} slot{self.cpu} "
+                    f"{self.label} thread={self.ref}")
         if self.ref:
             extra = f" #{self.ref}"
         return f"{self.time:>9} {self.op:<9}{who} {self.label}{where}{extra}"
@@ -334,6 +356,16 @@ def iter_records(data: bytes, pos: int
             last_time += dt
             yield LogRecord(op="defer", time=last_time, cpu=cpu - 1,
                             flags=edit, depth=depth)
+        elif op == OP_SCHED:
+            dt, pos = _read_varint(data, pos)
+            kind = data[pos]
+            pos += 1
+            slot, pos = _read_varint(data, pos)
+            thread, pos = _read_varint(data, pos)
+            last_time += dt
+            yield LogRecord(op="sched", time=last_time, cpu=slot - 1,
+                            label=SCHED_KIND_NAMES[kind], ref=thread - 1,
+                            flags=kind)
         elif op == OP_END:
             final_time, pos = _read_varint(data, pos)
             fired, pos = _read_varint(data, pos)

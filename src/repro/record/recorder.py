@@ -107,6 +107,11 @@ class FlightRecorder:
         self._machine = machine
         machine.sim.on_dispatch = self._on_dispatch
         MachineTaps.ensure(machine).add_consumer(self)
+        # Scheduler switch-in/out/migration events (repro.sched) become
+        # OP_SCHED records.  With the scheduler off (the default) the
+        # engine is never constructed, nothing ever calls the listener,
+        # and the record stream is byte-identical to a pre-sched log.
+        machine.sched_listeners.append(self._on_sched)
         return self
 
     # ------------------------------------------------------------------
@@ -164,6 +169,12 @@ class FlightRecorder:
                     ref = self._ref_id(req_id)
                     break
         self._writer.tap(time, cpu, kind_id, line, ref)
+
+    def _on_sched(self, time: int, kind: int, slot: int,
+                  thread: int) -> None:
+        if self._drop("sched"):
+            return
+        self._writer.sched(time, kind, slot, thread)
 
     def on_tap_post(self, time: int, cpu: int, kind: str, args: tuple,
                     obj: object) -> None:

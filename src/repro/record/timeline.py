@@ -54,11 +54,20 @@ class MachineSnapshot:
     #: lock line -> owning cpu (writable holder), None when free.
     lock_owners: dict[int, Optional[int]] = field(default_factory=dict)
     bus_outstanding: int = 0
+    #: CPU slot -> workload thread on it (repro.sched OP_SCHED records);
+    #: empty for scheduler-off logs.
+    on_slot: dict[int, Optional[int]] = field(default_factory=dict)
 
     def render(self) -> str:
         out = [f"state at t={self.time}:"]
         for cpu in sorted(self.cpus):
             out.append("  " + self.cpus[cpu].render())
+        if self.on_slot:
+            slots = ", ".join(
+                f"slot{slot}=" + ("idle" if thread is None
+                                  else f"thread{thread}")
+                for slot, thread in sorted(self.on_slot.items()))
+            out.append(f"  sched: {slots}")
         if self.lock_owners:
             owners = ", ".join(
                 f"{line:#x}=" + ("free" if owner is None else f"cpu{owner}")
@@ -138,6 +147,12 @@ class Timeline:
                     state = cpus[record.cpu] = CpuState(cpu=record.cpu)
                 if state is not None:
                     state.defer_depth = record.depth or 0
+            elif record.op == "sched":
+                if record.label == "switch-in":
+                    snap.on_slot[record.cpu] = record.ref
+                elif record.label == "switch-out" \
+                        and snap.on_slot.get(record.cpu) == record.ref:
+                    snap.on_slot[record.cpu] = None
         snap.bus_outstanding = len(outstanding)
         for line in self.lock_lines:
             snap.lock_owners.setdefault(line, None)
@@ -201,6 +216,42 @@ class Timeline:
         if cpu is not None:
             spans = [s for s in spans if s[0] == cpu]
         spans.sort(key=lambda s: (s[1], s[0]))
+        return spans
+
+    def who_on_cpu(self, cycle: int) -> dict[int, Optional[int]]:
+        """``slot -> thread`` occupancy at ``cycle``, folded from the
+        OP_SCHED records alone (empty dict for scheduler-off logs) --
+        the "who was on-CPU at cycle N" replay query."""
+        on_slot: dict[int, Optional[int]] = {}
+        for record in self.records[:self.index_at(cycle)]:
+            if record.op != "sched":
+                continue
+            if record.label == "switch-in":
+                on_slot[record.cpu] = record.ref
+            elif record.label == "switch-out" \
+                    and on_slot.get(record.cpu) == record.ref:
+                on_slot[record.cpu] = None
+        return on_slot
+
+    def sched_spans(self) -> list[tuple[int, int, int, int]]:
+        """(slot, thread, on_time, off_time) for every closed slot
+        occupancy window, in switch-in order.  A thread still on-CPU at
+        the end of the log closes at :attr:`final_time`."""
+        open_since: dict[int, tuple[int, int]] = {}
+        spans: list[tuple[int, int, int, int]] = []
+        for record in self.records:
+            if record.op != "sched":
+                continue
+            if record.label == "switch-in":
+                open_since[record.cpu] = (record.ref, record.time)
+            elif record.label == "switch-out":
+                opened = open_since.pop(record.cpu, None)
+                if opened is not None and opened[0] == record.ref:
+                    spans.append((record.cpu, record.ref, opened[1],
+                                  record.time))
+        for slot, (thread, since) in sorted(open_since.items()):
+            spans.append((slot, thread, since, self.final_time))
+        spans.sort(key=lambda s: (s[2], s[0]))
         return spans
 
     def counts(self) -> dict[str, int]:

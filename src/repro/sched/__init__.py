@@ -1,0 +1,31 @@
+"""repro.sched -- preemptive OS scheduling over the simulated machine.
+
+The paper's stress mode that single-threaded-per-CPU runs never reach:
+a lock holder (or speculating elider) yanked off its CPU mid critical
+section.  This package multiplexes N workload threads over M simulated
+CPU *slots* (M = ``num_cpus // threads_per_cpu``): pluggable scheduler
+cores (:mod:`repro.sched.core`) decide who runs, and the engine
+(:mod:`repro.sched.engine`) drives kernel timer events that deschedule
+the victim at an instruction boundary -- aborting in-flight elision via
+the processor's existing deschedule contract -- and reschedule the next
+runnable thread, optionally migrating it across slots.
+
+The subsystem is strictly an overlay: when ``SystemConfig.sched`` is
+off (the default), no engine is constructed, no events are scheduled
+and no RNG is drawn, so scheduler-off runs stay bit-identical to the
+golden fingerprints.  Even when attached, the engine preempts only if
+another runnable thread is waiting for the slot, so ``threads == cpus``
+configurations remain behaviourally inert (property-tested).
+"""
+
+from repro.sched.core import (KNOWN_SCHEDULERS, CfsScheduler, MlfqScheduler,
+                              RoundRobinScheduler, SchedulerCore,
+                              make_scheduler)
+from repro.sched.engine import (SCHED_IN, SCHED_MIGRATE, SCHED_OUT,
+                                SchedEngine)
+
+__all__ = [
+    "KNOWN_SCHEDULERS", "CfsScheduler", "MlfqScheduler",
+    "RoundRobinScheduler", "SchedulerCore", "make_scheduler",
+    "SCHED_IN", "SCHED_MIGRATE", "SCHED_OUT", "SchedEngine",
+]

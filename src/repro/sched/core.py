@@ -1,0 +1,261 @@
+"""Scheduler cores: who runs next on a CPU slot, and for how long.
+
+A core is pure policy -- it owns the ready set and answers three
+questions (``pick``, ``should_preempt``, ``quantum_for``) but never
+touches the simulator, the processors or any clock other than the
+``now`` values the engine hands it.  That keeps every core trivially
+deterministic: no RNG, no wall time, iteration order fixed by thread
+id.  The engine (:mod:`repro.sched.engine`) owns mechanism: timer
+events, deschedule/reschedule, migration penalties and accounting.
+
+``eligible`` is the engine's slot-affinity filter (home-slot pinning
+when migration is off, everything otherwise); cores treat it as an
+opaque predicate so affinity policy lives in exactly one place.
+
+Three cores, same interface:
+
+* ``rr``   -- round-robin: FIFO ready queue, fixed quantum, a
+  preempted thread goes to the tail.
+* ``mlfq`` -- multi-level feedback queue: a thread that burns its full
+  quantum is demoted one level (levels double the quantum); all
+  threads are boosted back to the top level on a fixed period so
+  demoted lock holders cannot starve.
+* ``cfs``  -- fair scheduler: per-thread virtual runtime, always pick
+  the minimum, preempt when a waiter has run strictly less than the
+  incumbent would have after its slice.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+#: Scheduler names accepted by :class:`repro.harness.config.SchedConfig`
+#: (``"none"`` is the off switch and never reaches ``make_scheduler``).
+KNOWN_SCHEDULERS = ("rr", "mlfq", "cfs")
+
+Eligible = Callable[[int], bool]
+
+
+class SchedulerCore:
+    """Interface every scheduler core implements."""
+
+    name = "?"
+
+    def __init__(self, num_threads: int, num_slots: int, quantum: int):
+        self.num_threads = num_threads
+        self.num_slots = num_slots
+        self.quantum = quantum
+
+    def admit(self, thread: int) -> None:
+        """``thread`` becomes runnable for the first time."""
+        raise NotImplementedError
+
+    def requeue(self, thread: int, ran: int) -> None:
+        """``thread`` was preempted after ``ran`` on-CPU cycles."""
+        raise NotImplementedError
+
+    def pick(self, slot: int, eligible: Eligible) -> Optional[int]:
+        """Pop and return the next thread to run on ``slot``."""
+        raise NotImplementedError
+
+    def peek(self, slot: int, eligible: Eligible) -> Optional[int]:
+        """Like :meth:`pick` but without removing the thread."""
+        raise NotImplementedError
+
+    def should_preempt(self, slot: int, thread: int, ran: int,
+                       eligible: Eligible) -> bool:
+        """Should the engine preempt ``thread`` (on ``slot`` for
+        ``ran`` cycles)?  Must return False when no eligible waiter
+        exists -- that invariant is what keeps the scheduler layer
+        inert at ``threads == cpus`` (see the property test)."""
+        raise NotImplementedError
+
+    def on_done(self, thread: int) -> None:
+        """``thread`` finished; forget it."""
+
+    def on_tick(self, now: int) -> None:
+        """Periodic hook, called once per slot per timer tick."""
+
+    def quantum_for(self, thread: int) -> int:
+        return self.quantum
+
+
+class RoundRobinScheduler(SchedulerCore):
+    """FIFO rotation with a fixed quantum."""
+
+    name = "rr"
+
+    def __init__(self, num_threads: int, num_slots: int, quantum: int):
+        super().__init__(num_threads, num_slots, quantum)
+        self._ready: deque[int] = deque()
+
+    def admit(self, thread: int) -> None:
+        self._ready.append(thread)
+
+    def requeue(self, thread: int, ran: int) -> None:
+        self._ready.append(thread)
+
+    def peek(self, slot: int, eligible: Eligible) -> Optional[int]:
+        for thread in self._ready:
+            if eligible(thread):
+                return thread
+        return None
+
+    def pick(self, slot: int, eligible: Eligible) -> Optional[int]:
+        for thread in self._ready:
+            if eligible(thread):
+                self._ready.remove(thread)
+                return thread
+        return None
+
+    def should_preempt(self, slot: int, thread: int, ran: int,
+                       eligible: Eligible) -> bool:
+        return (ran >= self.quantum
+                and self.peek(slot, eligible) is not None)
+
+    def on_done(self, thread: int) -> None:
+        if thread in self._ready:
+            self._ready.remove(thread)
+
+
+class MlfqScheduler(SchedulerCore):
+    """Multi-level feedback queue with periodic priority boost.
+
+    Level ``k`` gets quantum ``quantum * 2**k``; a thread that used its
+    whole slice is demoted, one that blocked/finished early keeps its
+    level.  Every ``boost_period`` cycles everything returns to level
+    0, which bounds how long a demoted (e.g. lock-holding) thread can
+    be deprioritised -- the anti-starvation half of the livelock test.
+    """
+
+    name = "mlfq"
+    levels = 3
+
+    def __init__(self, num_threads: int, num_slots: int, quantum: int):
+        super().__init__(num_threads, num_slots, quantum)
+        self._queues: list[deque[int]] = [deque()
+                                          for _ in range(self.levels)]
+        self._level: dict[int, int] = {}
+        self.boost_period = quantum * 8 * max(1, self.levels)
+        self._next_boost = self.boost_period
+
+    def admit(self, thread: int) -> None:
+        self._level[thread] = 0
+        self._queues[0].append(thread)
+
+    def requeue(self, thread: int, ran: int) -> None:
+        level = self._level.get(thread, 0)
+        if ran >= self.quantum_for(thread):
+            level = min(level + 1, self.levels - 1)
+        self._level[thread] = level
+        self._queues[level].append(thread)
+
+    def peek(self, slot: int, eligible: Eligible) -> Optional[int]:
+        for queue in self._queues:
+            for thread in queue:
+                if eligible(thread):
+                    return thread
+        return None
+
+    def pick(self, slot: int, eligible: Eligible) -> Optional[int]:
+        for queue in self._queues:
+            for thread in queue:
+                if eligible(thread):
+                    queue.remove(thread)
+                    return thread
+        return None
+
+    def should_preempt(self, slot: int, thread: int, ran: int,
+                       eligible: Eligible) -> bool:
+        return (ran >= self.quantum_for(thread)
+                and self.peek(slot, eligible) is not None)
+
+    def on_done(self, thread: int) -> None:
+        level = self._level.pop(thread, None)
+        if level is not None and thread in self._queues[level]:
+            self._queues[level].remove(thread)
+
+    def on_tick(self, now: int) -> None:
+        if now < self._next_boost:
+            return
+        self._next_boost += self.boost_period
+        boosted = [t for queue in self._queues[1:] for t in queue]
+        for queue in self._queues[1:]:
+            queue.clear()
+        for thread in sorted(boosted):
+            self._level[thread] = 0
+            self._queues[0].append(thread)
+
+    def quantum_for(self, thread: int) -> int:
+        return self.quantum * (2 ** self._level.get(thread, 0))
+
+
+class CfsScheduler(SchedulerCore):
+    """Completely-fair-style scheduler on virtual runtime.
+
+    Each thread accumulates the cycles it has been on-CPU; the ready
+    thread with the least accumulated runtime always runs next (ties
+    break on thread id, keeping the core deterministic).  The quantum
+    acts as the minimum granularity: the incumbent is preempted only
+    after a full slice *and* only when a waiter is genuinely behind.
+    """
+
+    name = "cfs"
+
+    def __init__(self, num_threads: int, num_slots: int, quantum: int):
+        super().__init__(num_threads, num_slots, quantum)
+        self._vruntime: dict[int, int] = {}
+        self._ready: set[int] = set()
+
+    def admit(self, thread: int) -> None:
+        self._vruntime.setdefault(thread, 0)
+        self._ready.add(thread)
+
+    def requeue(self, thread: int, ran: int) -> None:
+        self._vruntime[thread] = self._vruntime.get(thread, 0) + ran
+        self._ready.add(thread)
+
+    def peek(self, slot: int, eligible: Eligible) -> Optional[int]:
+        best = None
+        for thread in sorted(self._ready):
+            if not eligible(thread):
+                continue
+            if best is None or self._vruntime[thread] < self._vruntime[best]:
+                best = thread
+        return best
+
+    def pick(self, slot: int, eligible: Eligible) -> Optional[int]:
+        best = self.peek(slot, eligible)
+        if best is not None:
+            self._ready.discard(best)
+        return best
+
+    def should_preempt(self, slot: int, thread: int, ran: int,
+                       eligible: Eligible) -> bool:
+        if ran < self.quantum:
+            return False
+        waiter = self.peek(slot, eligible)
+        if waiter is None:
+            return False
+        incumbent = self._vruntime.get(thread, 0) + ran
+        return self._vruntime[waiter] < incumbent
+
+    def on_done(self, thread: int) -> None:
+        self._ready.discard(thread)
+        self._vruntime.pop(thread, None)
+
+
+_CORES = {cls.name: cls for cls in
+          (RoundRobinScheduler, MlfqScheduler, CfsScheduler)}
+
+
+def make_scheduler(name: str, num_threads: int, num_slots: int,
+                   quantum: int) -> SchedulerCore:
+    """Instantiate the named core; raises ``ValueError`` on unknowns."""
+    try:
+        cls = _CORES[name]
+    except KeyError:
+        raise ValueError(f"unknown scheduler {name!r}; "
+                         f"known: {sorted(_CORES)}") from None
+    return cls(num_threads, num_slots, quantum)

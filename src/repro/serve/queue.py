@@ -80,7 +80,14 @@ class Job:
 
 
 class JobQueue:
-    """FIFO job queue with coalescing, worker threads and metrics.
+    """Priority job queue with coalescing, worker threads and metrics.
+
+    Jobs drain in :attr:`~repro.harness.spec.JobSpec.priority` order
+    (higher first), FIFO among equal priorities -- the default priority
+    is 0, so a service that never sets it behaves exactly like the old
+    FIFO queue.  Priority orders *dispatch only*: it is not part of the
+    job fingerprint, so a high- and a low-priority submission of the
+    same spec still coalesce into one execution.
 
     ``workers`` threads drain the queue concurrently (several *jobs* in
     flight); ``jobs`` is the engine parallelism *within* one job --
@@ -103,7 +110,14 @@ class JobQueue:
         self._cond = threading.Condition()
         self._jobs: dict[str, Job] = {}
         self._inflight: dict[str, str] = {}  # fingerprint -> job id
-        self._pending: queue_module.Queue = queue_module.Queue()
+        # (-priority, seq, job_id): heap pops highest priority first,
+        # FIFO (by submission sequence) among equals.  The stop
+        # sentinel's job_id is None, which plain tuples could compare
+        # against a real entry's str id -- the seq tiebreak makes the
+        # third element unreachable for ordering.
+        self._pending: queue_module.PriorityQueue = \
+            queue_module.PriorityQueue()
+        self._seq = itertools.count()
         self._ids = itertools.count(1)
         self._threads: list[threading.Thread] = []
         self._stopped = False
@@ -128,7 +142,9 @@ class JobQueue:
             if self._stopped:
                 return
             self._stopped = True
-        self._pending.put(None)  # each worker re-posts it for the next
+        # Sentinel sorts after every real job, so pending work drains
+        # before workers see the stop signal.
+        self._pending.put((float("inf"), next(self._seq), None))
         for thread in self._threads:
             thread.join(timeout=30)
         if self.pool is not None:
@@ -157,7 +173,8 @@ class JobQueue:
             self._jobs[job.id] = job
             self._inflight[fingerprint] = job.id
             self._emit(job, "queued", {"id": job.id, "kind": spec.kind})
-        self._pending.put(job.id)
+            item = (-spec.priority, next(self._seq), job.id)
+        self._pending.put(item)
         return job, False
 
     # -- observation ----------------------------------------------------
@@ -208,9 +225,10 @@ class JobQueue:
 
     def _worker(self) -> None:
         while True:
-            job_id = self._pending.get()
+            item = self._pending.get()
+            job_id = item[2]
             if job_id is None:
-                self._pending.put(None)  # wake the next worker too
+                self._pending.put(item)  # wake the next worker too
                 return
             self._run_job(self._jobs[job_id])
 

@@ -159,12 +159,29 @@ class Tracer:
                 return
         self.events.append(TraceEvent(time, cpu, kind, line, detail))
 
+    def _txn_key(self, cpu: int):
+        """Span key for a txn opened on hardware context ``cpu``.
+
+        With the preemptive scheduler multiplexing thread contexts over
+        CPU slots (``threads_per_cpu > 1``), the key is ``(cpu,
+        thread)`` so a span survives the context being descheduled and
+        rescheduled between its begin and its close.  With one pinned
+        thread per CPU (the default) the key stays the bare ``cpu``,
+        preserving byte-identical span streams for existing runs.
+        """
+        machine = self._machine
+        engine = getattr(machine, "sched_engine", None) \
+            if machine is not None else None
+        if engine is not None and engine.threads_per_cpu > 1:
+            return (cpu, engine.thread_on_context(cpu))
+        return cpu
+
     def _update_spans(self, time: int, cpu: int, kind: str,
                       line: Optional[int], ref: Optional[int]) -> None:
         span_kind = _SPAN_OPENERS.get(kind)
         if span_kind is not None:
             open_spans = self._open[span_kind]
-            key = cpu if span_kind == "txn" else ref
+            key = self._txn_key(cpu) if span_kind == "txn" else ref
             if key is not None or span_kind == "txn":
                 open_spans.setdefault(key, (time, cpu, line))
             return
@@ -172,7 +189,7 @@ class Tracer:
         if closer is None:
             return
         span_kind, outcome = closer
-        key = cpu if span_kind == "txn" else ref
+        key = self._txn_key(cpu) if span_kind == "txn" else ref
         opened = self._open[span_kind].pop(key, None)
         if opened is None:
             return  # no matching begin (e.g. abort outside speculation)

@@ -1,0 +1,281 @@
+"""Unit tests for the preemptive-scheduler subsystem (repro.sched).
+
+Cores are pure policy, so their rotation/demotion/fairness rules are
+tested in isolation; the engine is exercised on a real (small) machine
+because its contract -- deschedule aborts speculation, ticks never wedge
+the kernel queue, accounting only moves on real events -- only means
+anything against the genuine processor/kernel behavior.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.harness.config import SchedConfig, SyncScheme, SystemConfig
+from repro.harness.runner import execute_workload, result_fingerprint
+from repro.harness.spec import RunSpec
+from repro.sched import (KNOWN_SCHEDULERS, SCHED_IN, SCHED_MIGRATE,
+                         SCHED_OUT, CfsScheduler, MlfqScheduler,
+                         RoundRobinScheduler, make_scheduler)
+
+ANY = lambda thread: True  # noqa: E731 - the trivial eligibility filter
+
+
+def _run(scheduler="rr", quantum=200, threads_per_cpu=2, migrate=False,
+         policy=None, seed=0, ops=96, cpus=4, workload="single-counter"):
+    cfg = SystemConfig(num_cpus=cpus, seed=seed).with_scheme(SyncScheme.TLR)
+    if policy:
+        cfg = cfg.with_policy(policy)
+    cfg = replace(cfg, sched=SchedConfig(
+        scheduler=scheduler, quantum=quantum,
+        threads_per_cpu=threads_per_cpu, migrate=migrate))
+    spec = RunSpec(workload=workload, config=cfg,
+                   workload_args={"total_increments": ops}
+                   if workload == "single-counter" else {"total_ops": ops})
+    return execute_workload(spec.build_workload(), cfg)
+
+
+# ----------------------------------------------------------------------
+# Name/constant registries stay in sync
+# ----------------------------------------------------------------------
+class TestRegistries:
+    def test_config_knows_every_core_plus_off(self):
+        assert SchedConfig.KNOWN_SCHEDULERS == ("none",) + KNOWN_SCHEDULERS
+
+    def test_factory_builds_every_known_core(self):
+        for name in KNOWN_SCHEDULERS:
+            assert make_scheduler(name, 4, 2, 100).name == name
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("fifo", 4, 2, 100)
+
+    def test_record_kind_names_match_engine_constants(self):
+        from repro.record.format import SCHED_KIND_NAMES
+        assert SCHED_KIND_NAMES[SCHED_IN] == "switch-in"
+        assert SCHED_KIND_NAMES[SCHED_OUT] == "switch-out"
+        assert SCHED_KIND_NAMES[SCHED_MIGRATE] == "migrate"
+
+
+class TestSchedConfig:
+    def test_defaults_are_off(self):
+        cfg = SchedConfig()
+        assert cfg.scheduler == "none" and not cfg.enabled
+
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(ValueError, match="bad scheduler"):
+            SchedConfig(scheduler="fifo")
+
+    def test_rejects_bad_quantum_and_ratio(self):
+        with pytest.raises(ValueError):
+            SchedConfig(scheduler="rr", quantum=0)
+        with pytest.raises(ValueError):
+            SchedConfig(scheduler="rr", threads_per_cpu=0)
+
+    def test_rejects_negative_penalties(self):
+        with pytest.raises(ValueError):
+            SchedConfig(scheduler="rr", context_switch_penalty=-1)
+
+    def test_serialization_round_trip(self):
+        from repro.harness.spec import config_from_dict, config_to_dict
+        cfg = SystemConfig(sched=SchedConfig(scheduler="mlfq", quantum=64,
+                                             threads_per_cpu=2))
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_pre_sched_payload_still_loads(self):
+        # Old serialized configs have no "sched" key at all.
+        from repro.harness.spec import config_from_dict, config_to_dict
+        data = config_to_dict(SystemConfig())
+        data.pop("sched", None)
+        assert config_from_dict(data).sched == SchedConfig()
+
+    def test_sched_knobs_key_the_fingerprint(self):
+        base = RunSpec(workload="single-counter", config=SystemConfig(),
+                       workload_args={"total_increments": 32})
+        on = RunSpec(workload="single-counter",
+                     config=SystemConfig(sched=SchedConfig(scheduler="rr")),
+                     workload_args={"total_increments": 32})
+        assert base.fingerprint() != on.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Cores in isolation
+# ----------------------------------------------------------------------
+class TestRoundRobin:
+    def test_fifo_rotation(self):
+        core = RoundRobinScheduler(3, 1, 100)
+        for t in range(3):
+            core.admit(t)
+        assert core.pick(0, ANY) == 0
+        core.requeue(0, 100)            # preempted -> tail
+        assert core.pick(0, ANY) == 1
+        assert core.pick(0, ANY) == 2
+        assert core.pick(0, ANY) == 0
+
+    def test_no_waiter_means_no_preempt(self):
+        core = RoundRobinScheduler(1, 1, 100)
+        core.admit(0)
+        assert core.pick(0, ANY) == 0
+        # Ready queue empty: the inertness invariant.
+        assert not core.should_preempt(0, 0, 10**9, ANY)
+
+    def test_quantum_gates_preemption(self):
+        core = RoundRobinScheduler(2, 1, 100)
+        core.admit(0)
+        core.admit(1)
+        assert core.pick(0, ANY) == 0
+        assert not core.should_preempt(0, 0, 99, ANY)
+        assert core.should_preempt(0, 0, 100, ANY)
+
+    def test_eligibility_filter_respected(self):
+        core = RoundRobinScheduler(4, 2, 100)
+        for t in range(4):
+            core.admit(t)
+        even = lambda t: t % 2 == 0  # noqa: E731
+        assert core.pick(0, even) == 0
+        assert core.pick(0, even) == 2
+        assert core.pick(0, even) is None
+
+
+class TestMlfq:
+    def test_full_quantum_demotes(self):
+        core = MlfqScheduler(2, 1, 100)
+        core.admit(0)
+        core.admit(1)
+        assert core.quantum_for(0) == 100
+        assert core.pick(0, ANY) == 0
+        core.requeue(0, 100)            # burned the slice -> level 1
+        assert core.quantum_for(0) == 200
+        core.requeue(1, 10)             # kept its level (never picked is
+        assert core.quantum_for(1) == 100  # level 0 anyway)
+
+    def test_higher_level_runs_first(self):
+        core = MlfqScheduler(2, 1, 100)
+        core.admit(0)
+        core.admit(1)
+        assert core.pick(0, ANY) == 0
+        core.requeue(0, 100)            # 0 demoted below 1
+        assert core.pick(0, ANY) == 1
+
+    def test_boost_returns_everyone_to_top(self):
+        core = MlfqScheduler(2, 1, 100)
+        core.admit(0)
+        core.pick(0, ANY)
+        core.requeue(0, 100)
+        assert core.quantum_for(0) == 200
+        core.on_tick(core.boost_period)
+        assert core.quantum_for(0) == 100
+
+    def test_demotion_saturates_at_bottom_level(self):
+        core = MlfqScheduler(1, 1, 100)
+        core.admit(0)
+        for _ in range(10):
+            assert core.pick(0, ANY) == 0
+            core.requeue(0, core.quantum_for(0))
+        assert core.quantum_for(0) == 100 * 2 ** (core.levels - 1)
+
+
+class TestCfs:
+    def test_picks_minimum_vruntime(self):
+        core = CfsScheduler(3, 1, 100)
+        for t in range(3):
+            core.admit(t)
+        assert core.pick(0, ANY) == 0   # tie broken by id
+        core.requeue(0, 500)
+        assert core.pick(0, ANY) == 1
+        core.requeue(1, 50)
+        assert core.pick(0, ANY) == 2
+        core.requeue(2, 100)
+        assert core.pick(0, ANY) == 1   # 50 < 100 < 500
+
+    def test_preempts_only_for_a_behind_waiter(self):
+        core = CfsScheduler(2, 1, 100)
+        core.admit(0)
+        core.admit(1)
+        assert core.pick(0, ANY) == 0
+        # Waiter 1 has vruntime 0 < incumbent's 0 + 100: preempt.
+        assert core.should_preempt(0, 0, 100, ANY)
+        # But never inside the minimum granularity.
+        assert not core.should_preempt(0, 0, 99, ANY)
+
+    def test_far_ahead_waiter_does_not_preempt(self):
+        core = CfsScheduler(2, 1, 100)
+        core.admit(0)
+        core.admit(1)
+        core.requeue(1, 10_000)         # 1 has run far more than 0
+        assert core.pick(0, ANY) == 0
+        assert not core.should_preempt(0, 0, 100, ANY)
+
+
+# ----------------------------------------------------------------------
+# Engine on a real machine
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_multiplexed_run_completes_and_validates(self):
+        result = _run(scheduler="rr", quantum=200, threads_per_cpu=2)
+        assert result.stats.extra["sched.preemptions"] > 0
+        assert result.stats.total("elisions_committed") > 0
+
+    def test_deterministic_across_runs(self):
+        a = _run(scheduler="mlfq", quantum=150, threads_per_cpu=2)
+        b = _run(scheduler="mlfq", quantum=150, threads_per_cpu=2)
+        assert result_fingerprint(a) == result_fingerprint(b)
+
+    def test_schedulers_and_seeds_change_outcomes(self):
+        fingerprints = {
+            result_fingerprint(_run(scheduler=s, quantum=150, seed=seed))
+            for s in ("rr", "cfs") for seed in (0, 1)}
+        assert len(fingerprints) >= 2
+
+    def test_mid_speculation_preemption_aborts_elision(self):
+        result = _run(scheduler="rr", quantum=150, threads_per_cpu=2)
+        assert result.stats.extra["sched.context_switch_aborts"] > 0
+        assert result.stats.reason_totals().get("deschedule", 0) > 0
+
+    def test_migration_off_pins_home_slots(self):
+        result = _run(scheduler="rr", quantum=150, migrate=False)
+        assert "sched.migrations" not in result.stats.extra
+
+    def test_migration_on_moves_threads_and_counts(self):
+        result = _run(scheduler="cfs", quantum=150, migrate=True)
+        assert result.stats.extra.get("sched.migrations", 0) > 0
+
+    def test_obs_sees_preemptions_and_attribution(self):
+        result = _run(scheduler="rr", quantum=200, threads_per_cpu=2)
+        counters = result.metrics["counters"]
+        assert counters["sched.preemptions"] == \
+            result.stats.extra["sched.preemptions"]
+        gauges = result.metrics["gauges"]
+        assert gauges["sched.slots"]["value"] == 2
+        for thread in range(4):
+            oncpu = gauges[f"sched.thread.t{thread}.oncpu"]["value"]
+            offcpu = gauges[f"sched.thread.t{thread}.offcpu"]["value"]
+            assert oncpu > 0 and offcpu >= 0
+            finish = result.stats.cpu(thread).finish_time
+            assert oncpu + offcpu == finish
+
+    def test_scheduler_off_run_carries_no_sched_telemetry(self):
+        cfg = SystemConfig(num_cpus=4).with_scheme(SyncScheme.TLR)
+        spec = RunSpec(workload="single-counter", config=cfg,
+                       workload_args={"total_increments": 96})
+        result = execute_workload(spec.build_workload(), cfg)
+        assert not any(k.startswith("sched.")
+                       for k in result.stats.extra)
+        assert not any(k.startswith("sched.")
+                       for k in result.metrics["counters"])
+        assert not any(k.startswith("sched.")
+                       for k in result.metrics["gauges"])
+
+    def test_snapshot_shape(self):
+        from repro.harness.machine import Machine
+        from repro.workloads.microbench import single_counter
+        cfg = replace(
+            SystemConfig(num_cpus=2).with_scheme(SyncScheme.TLR),
+            sched=SchedConfig(scheduler="rr", quantum=100,
+                              threads_per_cpu=2))
+        machine = Machine(cfg)
+        machine.run_workload(single_counter(2, 32))
+        snap = machine.sched_engine.snapshot()
+        assert snap["slots"] == 1
+        assert set(snap["oncpu"]) == {0, 1}
+        assert snap["preemptions"] >= snap["context_switch_aborts"]

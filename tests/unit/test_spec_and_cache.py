@@ -273,3 +273,108 @@ class TestCacheVersioning:
         stale.parent.mkdir(parents=True)
         stale.write_text('{"stale": true}')
         assert ResultCache(tmp_path).get(fingerprint) is None
+
+
+class TestCacheTtl:
+    """``prune(ttl=...)`` ages out current-version entries by mtime."""
+
+    @staticmethod
+    def _put_aged(cache, fingerprint, age_seconds):
+        import os
+        import time
+        cache.put(fingerprint, {})
+        stamp = time.time() - age_seconds
+        os.utime(cache._path(fingerprint), (stamp, stamp))
+
+    def test_expired_entries_removed_fresh_kept(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._put_aged(cache, "aa" + "0" * 62, age_seconds=3600)
+        self._put_aged(cache, "bb" + "0" * 62, age_seconds=10)
+        assert cache.prune(ttl=600) == 1
+        assert cache.get("aa" + "0" * 62) is None
+        assert cache.get("bb" + "0" * 62) == {}
+
+    def test_eviction_is_oldest_first(self, tmp_path):
+        # All three expired: the removal count covers them all, and the
+        # (mtime-sorted) order means a crash mid-prune loses the oldest
+        # results first.
+        cache = ResultCache(tmp_path)
+        for i, age in enumerate((300, 100, 200)):
+            self._put_aged(cache, f"{i:02d}" + "c" * 62, age)
+        assert cache.prune(ttl=50) == 3
+        assert len(cache) == 0
+
+    def test_no_ttl_means_no_age_eviction(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._put_aged(cache, "dd" + "0" * 62, age_seconds=10**6)
+        assert cache.prune() == 0
+        assert cache.get("dd" + "0" * 62) == {}
+
+    def test_ttl_also_prunes_superseded_versions(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        old = tmp_path / "v1" / "ab"
+        old.mkdir(parents=True)
+        (old / ("ab" + "0" * 62 + ".json")).write_text("{}")
+        self._put_aged(cache, "ee" + "0" * 62, age_seconds=3600)
+        assert cache.prune(ttl=600) == 2
+
+
+class TestJobPriority:
+    """JobSpec.priority orders serve-queue dispatch but never identity."""
+
+    def _spec(self, priority=0, seeds=1):
+        from repro.harness.spec import JobSpec
+        return JobSpec(kind="verify", params={"seeds": seeds, "ops": 8},
+                       priority=priority)
+
+    def test_priority_excluded_from_fingerprint(self):
+        urgent = self._spec(priority=9)
+        lazy = self._spec(priority=0)
+        assert urgent.fingerprint() == lazy.fingerprint()
+
+    def test_priority_round_trips(self):
+        from repro.harness.spec import JobSpec
+        spec = self._spec(priority=3)
+        again = JobSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again.priority == 3
+        # Default priority stays out of the serialized form entirely,
+        # so pre-priority payload bytes are unchanged.
+        assert "priority" not in self._spec(priority=0).to_dict()
+
+    def test_priority_must_be_an_int(self):
+        from repro.harness.spec import JobSpec
+        with pytest.raises(TypeError, match="priority"):
+            JobSpec(kind="verify", params={}, priority="high")
+        with pytest.raises(TypeError, match="priority"):
+            JobSpec(kind="verify", params={}, priority=True)
+
+    def test_queue_drains_highest_priority_first_ties_fifo(self):
+        from repro.serve.queue import JobQueue
+        queue = JobQueue(workers=1, start=False)
+        ids = {}
+        for name, (priority, seeds) in {
+                "low": (0, 1), "urgent": (5, 2),
+                "mid": (1, 3), "urgent2": (5, 4)}.items():
+            job, coalesced = queue.submit(self._spec(priority, seeds))
+            assert not coalesced
+            ids[job.id] = name
+        drained = [ids[queue._pending.get_nowait()[2]] for _ in range(4)]
+        assert drained == ["urgent", "urgent2", "mid", "low"]
+
+    def test_stop_sentinel_sorts_after_pending_jobs(self):
+        from repro.serve.queue import JobQueue
+        queue = JobQueue(workers=1, start=False)
+        queue.submit(self._spec(0, seeds=9))
+        queue._stopped = True
+        queue._pending.put((float("inf"), next(queue._seq), None))
+        first = queue._pending.get_nowait()
+        assert first[2] is not None     # the real job drains first
+        assert queue._pending.get_nowait()[2] is None
+
+    def test_priority_does_not_defeat_coalescing(self):
+        from repro.serve.queue import JobQueue
+        queue = JobQueue(workers=1, start=False)
+        first, coalesced_a = queue.submit(self._spec(priority=0, seeds=7))
+        second, coalesced_b = queue.submit(self._spec(priority=9, seeds=7))
+        assert not coalesced_a and coalesced_b
+        assert second is first

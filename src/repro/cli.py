@@ -377,6 +377,33 @@ def _build_parser() -> argparse.ArgumentParser:
                             metavar="OUT",
                             help="export waveform signals as VCD")
 
+    profile_cmd = sub.add_parser(
+        "profile", help="per-lock contention profile and abort "
+                        "attribution: run a workload live, or fold an "
+                        "existing record log (--from-log) without "
+                        "re-simulating")
+    profile_cmd.add_argument("workload", nargs="?", default=None,
+                             choices=sorted(WORKLOAD_BUILDERS),
+                             help="workload to run live (omit when "
+                                  "using --from-log)")
+    profile_cmd.add_argument("--from-log", type=str, default=None,
+                             metavar="PATH",
+                             help="fold a v3 record log's transaction "
+                                  "records instead of running anything")
+    profile_cmd.add_argument("--scheme", type=str, default="TLR",
+                             help="|".join(SCHEME_ALIASES))
+    profile_cmd.add_argument("--cpus", type=int, default=8)
+    profile_cmd.add_argument("--ops", type=int, default=None,
+                             help="workload size (same knob as "
+                                  "``repro run --ops``)")
+    profile_cmd.add_argument("--seed", type=int, default=0)
+    profile_cmd.add_argument("--format",
+                             choices=("markdown", "json", "folded"),
+                             default="markdown",
+                             help="markdown report, the raw snapshot "
+                                  "as JSON, or folded stacks for "
+                                  "flamegraph tooling")
+
     sub.add_parser("list", help="list workloads and schemes")
     return parser
 
@@ -530,6 +557,61 @@ def _do_replay(args) -> int:
     report_out = replay_log(raw)
     print(report_out.render())
     return 0 if report_out.ok else 1
+
+
+def _do_profile(args) -> int:
+    """The ``repro profile`` subcommand: live per-lock contention
+    profile of one run, or the identical profile folded post-hoc from
+    a record log."""
+    from repro.obs.profile import render_folded, render_markdown
+
+    if args.from_log and args.workload:
+        print("profile: give a workload or --from-log, not both",
+              file=sys.stderr)
+        return 2
+    if args.from_log:
+        from repro.obs.causal import profile_from_log
+        from repro.record import LogFormatError
+        try:
+            snapshot = profile_from_log(args.from_log)
+        except (OSError, LogFormatError) as exc:
+            print(f"profile: {exc}", file=sys.stderr)
+            return 2
+        title = f"contention profile of {args.from_log}"
+    elif args.workload:
+        scheme_name = args.scheme.upper().replace("_", "-")
+        if scheme_name not in SCHEME_ALIASES:
+            print(f"unknown scheme {args.scheme}; one of "
+                  f"{' '.join(SCHEME_ALIASES)}", file=sys.stderr)
+            return 2
+        scheme = scheme_from_str(scheme_name.replace("-", "_"))
+        workload_args = ({SIZE_PARAM[args.workload]: args.ops}
+                         if args.ops is not None else {})
+        config = SystemConfig(num_cpus=args.cpus, scheme=scheme,
+                              seed=args.seed)
+        spec = RunSpec(workload=args.workload, config=config,
+                       workload_args=workload_args)
+        from repro.harness.runner import execute_workload
+        result = execute_workload(spec.build_workload(), spec.config,
+                                  validate=spec.validate)
+        snapshot = (result.metrics or {}).get("profile")
+        if snapshot is None:
+            print("profile: run produced no profile (config.metrics "
+                  "off?)", file=sys.stderr)
+            return 1
+        title = (f"contention profile: {args.workload} under "
+                 f"{scheme.value} on {args.cpus} CPUs")
+    else:
+        print("profile: give a workload to run or --from-log PATH",
+              file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    elif args.format == "folded":
+        print(render_folded(snapshot), end="")
+    else:
+        print(render_markdown(snapshot, title=title), end="")
+    return 0
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -802,6 +884,9 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     if args.command == "replay":
         return _do_replay(args)
+
+    if args.command == "profile":
+        return _do_profile(args)
 
     if args.command == "perf":
         from repro.harness import perf

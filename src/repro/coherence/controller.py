@@ -464,8 +464,10 @@ class CacheController:
         if verdict is PolicyDecision.ABORT_REQUESTER:
             # Refuse *and* kill: the requester's transaction restarts
             # before its retry (carried on the request; consumed by
-            # handle_nack).
-            request.abort_on_nack = True
+            # handle_nack).  Encoded as our cpu id + 1 -- any truthy
+            # value means "abort"; the offset lets the victim attribute
+            # the kill to this holder without a new message field.
+            request.abort_on_nack = self.cpu_id + 1
             self.stats.nacks_sent += 1
             return True
         return False  # the incoming request wins; it must be served
@@ -480,10 +482,13 @@ class CacheController:
             self.obs.on_nack(self, request)
         self.policy.on_nacked(request)
         if request.abort_on_nack:
+            flag = request.abort_on_nack
+            holder = (flag - 1 if isinstance(flag, int)
+                      and not isinstance(flag, bool) else -1)
             request.abort_on_nack = False
             if self.speculating and mshr.in_txn:
                 self._handle_loss("aborted-by-holder", request.line,
-                                  request.ts)
+                                  request.ts, holder)
         mshr.ordered = False
         request.order_time = None
         label = (f"nack-retry {request!r}" if self.sim.verbose_labels
@@ -565,7 +570,8 @@ class CacheController:
                               self._service_obligation, request,
                               label=label)
         else:
-            self._handle_loss("conflict-lost", request.line, request.ts)
+            self._handle_loss("conflict-lost", request.line, request.ts,
+                              request.requester)
             self.sim.schedule(self._hit_latency,
                               self._service_obligation, request,
                               label=label)
@@ -590,11 +596,11 @@ class CacheController:
                 # the data through when it arrives.
                 mshr.pass_through = True
                 self._handle_loss("conflict-lost-pending", request.line,
-                                  request.ts)
+                                  request.ts, request.requester)
         elif self._conflicts(request) and not self.tlr_enabled:
             mshr.pass_through = True
             self._handle_loss("data-conflict-pending", request.line,
-                              request.ts)
+                              request.ts, request.requester)
 
     def _defer(self, request: BusRequest) -> None:
         self.deferred.push(request, self.sim.now)
@@ -634,12 +640,15 @@ class CacheController:
             label = (f"rabort {request.line:#x}" if self.sim.verbose_labels
                      else "rabort")
             self.datanet.send_control(target.remote_abort, request.line,
-                                      self.current_ts, label=label)
+                                      self.current_ts, self.cpu_id,
+                                      label=label)
 
-    def remote_abort(self, line_addr: int, ts: Optional[Timestamp]) -> None:
+    def remote_abort(self, line_addr: int, ts: Optional[Timestamp],
+                     holder: int = -1) -> None:
         """A holder served our request but killed our speculation."""
         if self.speculating:
-            self._handle_loss("aborted-by-holder", line_addr, ts)
+            self._handle_loss("aborted-by-holder", line_addr, ts,
+                              holder)
 
     def _send_probe(self, target_id: int, line_addr: int, ts: Timestamp,
                     origin: int) -> None:
@@ -674,11 +683,13 @@ class CacheController:
             if (self._conflicts_with_ts(probe.line, probe.ts)
                     and not self._relaxation_ok(probe.line)):
                 mshr.pass_through = True
-                self._handle_loss("probe-lost-pending", probe.line, probe.ts)
+                self._handle_loss("probe-lost-pending", probe.line, probe.ts,
+                                  probe.origin)
             return
         if self._conflicts_with_ts(probe.line, probe.ts):
             self.stats.probe_losses += 1
-            self._handle_loss("probe-lost", probe.line, probe.ts)
+            self._handle_loss("probe-lost", probe.line, probe.ts,
+                              probe.origin)
 
     def _conflicts_with_ts(self, line_addr: int,
                            ts: Optional[Timestamp]) -> bool:
@@ -705,7 +716,8 @@ class CacheController:
             if self.speculating and was_accessed:
                 self.upgrade_violations[request.line] += 1
                 self.on_conflict_ts(request.ts)
-                self._handle_loss("invalidated", request.line, request.ts)
+                self._handle_loss("invalidated", request.line, request.ts,
+                                  request.requester)
         else:
             mshr = self.mshrs.get(request.line)
             if mshr is not None and mshr.request.kind is ReqKind.GETS:
@@ -717,7 +729,8 @@ class CacheController:
                     self.upgrade_violations[request.line] += 1
                     self.on_conflict_ts(request.ts)
                     self._handle_loss("invalidated-in-flight", request.line,
-                                      request.ts)
+                                      request.ts,
+                                      request.requester)
         if self.monitor is not None:
             self.monitor.on_line_state(self, request.line)
         self._wake_watchers(request.line)
@@ -841,12 +854,21 @@ class CacheController:
         if lose_after:
             self.on_conflict_ts(request.ts)
             self._handle_loss("conflict-at-service", request.line,
-                              request.ts)
+                              request.ts, request.requester)
 
     def _handle_loss(self, reason: str, line_addr: int,
-                     incoming_ts: Optional[Timestamp]) -> None:
+                     incoming_ts: Optional[Timestamp],
+                     aborter: int = -1) -> None:
         """We lost a conflict: give up retained ownership (service the
-        deferred queue in order), clear speculative state, restart."""
+        deferred queue in order), clear speculative state, restart.
+
+        ``aborter`` is the cpu id whose request/probe caused the loss
+        (-1 when unattributable, e.g. relaxation revocation).  It is
+        consumed only by tap observers (the abort-attribution profiler)
+        via the ``loss`` tap arguments; nothing on the simulation path
+        reads it.  Call sites must pass it *positionally*: the tap shim
+        forwards only positional arguments to consumers.
+        """
         if not self.speculating:
             return
         if self.monitor is not None:

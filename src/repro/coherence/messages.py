@@ -78,7 +78,9 @@ class BusRequest:
     ``grant_state`` is stamped by the requester's controller when its own
     request reaches the order point (the state the directory granted);
     ``abort_on_nack`` rides on a NACKed request when the refusing holder
-    also decided to kill the requester's transaction.
+    also decided to kill the requester's transaction -- encoded as the
+    holder's cpu id + 1 (any truthy value means "abort"; the offset lets
+    the victim attribute the kill for abort-attribution profiling).
     """
 
     kind: ReqKind

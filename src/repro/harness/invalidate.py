@@ -88,6 +88,19 @@ def _plan_rmw_predictor(config: dict, results: dict) -> list[RunSpec]:
     return specs
 
 
+def _plan_profile(config: dict, results: dict) -> list[RunSpec]:
+    from repro.harness.spec import SIZE_PARAM
+    specs = []
+    for policy in config["policies"]:
+        for workload in config["workloads"]:
+            cfg = SystemConfig(num_cpus=config["num_cpus"],
+                               scheme=SyncScheme.TLR).with_policy(policy)
+            specs.append(RunSpec(
+                workload=workload, config=cfg,
+                workload_args={SIZE_PARAM[workload]: config["ops"]}))
+    return specs
+
+
 #: bench name (the artifact's ``"bench"`` field) -> cell planner.
 PLANNERS: dict[str, Callable[[dict, dict], list[RunSpec]]] = {
     "fig07_queue": _plan_fig07,
@@ -99,6 +112,7 @@ PLANNERS: dict[str, Callable[[dict, dict], list[RunSpec]]] = {
     "fig10_linked_list": _plan_micro_sweep(
         "linked-list", "total_ops", MICRO_SCHEMES),
     "fig11_applications": _plan_fig11,
+    "profile": _plan_profile,
     "tab_coarse_vs_fine": _plan_coarse_vs_fine,
     "tab_rmw_predictor": _plan_rmw_predictor,
 }

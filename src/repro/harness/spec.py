@@ -44,7 +44,10 @@ from repro.workloads.microbench import (linked_list, multiple_counter,
 #     checked by ``from_dict``); pre-v5 payloads lack the stamp.
 # v6: SystemConfig grew ``sched`` (repro.sched preemptive scheduler);
 #     the knobs change simulated schedules, so they must key the cache.
-FINGERPRINT_VERSION = 6
+# v7: RunResult metrics grew the ``profile`` section (repro.obs.profile
+#     per-lock contention profiles, conflict matrix, profile.* families);
+#     cached v6 payloads would come back without it.
+FINGERPRINT_VERSION = 7
 
 
 # ----------------------------------------------------------------------

@@ -34,9 +34,12 @@ _SKIP_TOP_LEVEL = {"bench", "config", "wall_seconds"}
 # Substring-matched against the flattened metric path.  Scheduler
 # counters read "lower is better": fewer preemptions and context-switch
 # aborts mean less work thrown away for the same verified result.
-LOWER_IS_BETTER = ("cycles", "slowdown", "wall_s",
+# Profiler families follow the same logic: "cycles" already catches
+# profile.cycles_lost / deferral_cycles rising (lost work = regression),
+# and a falling commit rate means more aborted speculation per attempt.
+LOWER_IS_BETTER = ("cycles", "slowdown", "wall_s", "aborts",
                    "context_switch_aborts", "preemptions")
-HIGHER_IS_BETTER = ("speedup", "events_per_sec")
+HIGHER_IS_BETTER = ("speedup", "events_per_sec", "commit_rate")
 
 
 class TrendError(RuntimeError):

@@ -13,6 +13,12 @@ reproduction carries a first-class observability layer:
 * span events live in :mod:`repro.sim.trace` (the :class:`Tracer`
   pairs txn-begin/commit, defer/service and request/data into duration
   spans for Perfetto).
+* :mod:`repro.obs.profile` -- the causal profiling layer: per-lock
+  contention profiles (commit rates, abort causes, cycles lost,
+  deferral waits) and the who-aborts-whom conflict matrix, built live
+  from the machine taps; :mod:`repro.obs.causal` rebuilds the identical
+  profile post-hoc from a v3 record log (kept out of this namespace to
+  avoid an eager ``repro.record`` import).
 * :mod:`repro.harness.trend` diffs ``BENCH_*.json`` artifacts across
   commits (the ``repro trend`` command).
 """
@@ -21,9 +27,15 @@ from repro.obs.metrics import (DEPTH_BUCKETS, LATENCY_BUCKETS, RETRY_BUCKETS,
                                Histogram, MetricsRegistry,
                                openmetrics_from_dict, summarize_metrics)
 from repro.obs.collect import MachineMetrics
+from repro.obs.profile import (ABORT_CAUSES, LockProfiler, ProfileBuilder,
+                               TxnTapFolder, cause_of, critical_path,
+                               describe_chain, matrix_canonical_json,
+                               render_folded, render_markdown)
 
 __all__ = [
-    "DEPTH_BUCKETS", "LATENCY_BUCKETS", "RETRY_BUCKETS",
-    "Histogram", "MetricsRegistry", "MachineMetrics",
-    "openmetrics_from_dict", "summarize_metrics",
+    "ABORT_CAUSES", "DEPTH_BUCKETS", "LATENCY_BUCKETS", "RETRY_BUCKETS",
+    "Histogram", "LockProfiler", "MetricsRegistry", "MachineMetrics",
+    "ProfileBuilder", "TxnTapFolder", "cause_of", "critical_path",
+    "describe_chain", "matrix_canonical_json", "openmetrics_from_dict",
+    "render_folded", "render_markdown", "summarize_metrics",
 ]

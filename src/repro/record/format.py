@@ -45,7 +45,7 @@ MAGIC = b"RPRL"
 
 #: Format generation.  Bump whenever the record layout, the opcode set
 #: or the header contract changes -- and add the migration note below.
-LOG_SCHEMA = 2
+LOG_SCHEMA = 3
 
 #: One entry per format generation ever shipped: version -> what
 #: changed and how to handle old logs.  CI gates on completeness.
@@ -55,6 +55,11 @@ SCHEMA_HISTORY: dict[int, str] = {
     2: "added OP_SCHED (0x06): scheduler switch-in/out/migration "
        "records from repro.sched.  v1 logs contain no such records; "
        "re-record from the embedded spec to upgrade.",
+    3: "added OP_TXN (0x07): normalized transaction begin/commit/abort "
+       "records (lock line, elision-site pc, restart reason, aborter "
+       "cpu) for post-hoc contention profiling, and the misspec tap "
+       "now fires on controller-initiated losses too.  v2 logs carry "
+       "neither; re-record from the embedded spec to upgrade.",
 }
 
 # Opcodes.
@@ -66,6 +71,12 @@ OP_STATE = 0x04      # varint dt, varint cpu+1, varint line,
                      # u8 state index, u8 access flags
 OP_DEFER = 0x05      # varint dt, varint cpu+1, u8 op, varint depth
 OP_SCHED = 0x06      # varint dt, u8 kind, varint slot+1, varint thread+1
+OP_TXN = 0x07        # varint dt, u8 kind, varint cpu+1, then per kind:
+                     #   begin:  varint lock_line+1, varint pc_id,
+                     #           varint attempts
+                     #   commit: (nothing further)
+                     #   abort:  varint reason_id, varint conflict_line+1,
+                     #           varint aborter+1
 OP_END = 0xFF        # varint final_time, varint events_fired,
                      # u8 fp len, fingerprint bytes
 
@@ -81,6 +92,12 @@ DEFER_DRAIN = 1
 #: ``OP_SCHED`` kinds (mirrors repro.sched.engine.SCHED_*: a unit test
 #: keeps the vocabularies in sync without an import cycle).
 SCHED_KIND_NAMES = ("switch-in", "switch-out", "migrate")
+
+#: ``OP_TXN`` kinds.
+TXN_BEGIN = 0
+TXN_COMMIT = 1
+TXN_ABORT = 2
+TXN_KIND_NAMES = ("begin", "commit", "abort")
 
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
@@ -205,6 +222,38 @@ class LogWriter:
         self._emit(bytes(out))
         self.records += 1
 
+    def txn_begin(self, time: int, cpu: int, lock_line: Optional[int],
+                  pc_id: int, attempts: int) -> None:
+        out = bytearray((OP_TXN,))
+        self._delta(out, time)
+        out.append(TXN_BEGIN)
+        _pack_varint(out, cpu + 1)
+        _pack_varint(out, 0 if lock_line is None else lock_line + 1)
+        _pack_varint(out, pc_id)
+        _pack_varint(out, attempts)
+        self._emit(bytes(out))
+        self.records += 1
+
+    def txn_commit(self, time: int, cpu: int) -> None:
+        out = bytearray((OP_TXN,))
+        self._delta(out, time)
+        out.append(TXN_COMMIT)
+        _pack_varint(out, cpu + 1)
+        self._emit(bytes(out))
+        self.records += 1
+
+    def txn_abort(self, time: int, cpu: int, reason_id: int,
+                  conflict_line: Optional[int], aborter: int) -> None:
+        out = bytearray((OP_TXN,))
+        self._delta(out, time)
+        out.append(TXN_ABORT)
+        _pack_varint(out, cpu + 1)
+        _pack_varint(out, reason_id)
+        _pack_varint(out, 0 if conflict_line is None else conflict_line + 1)
+        _pack_varint(out, aborter + 1)
+        self._emit(bytes(out))
+        self.records += 1
+
     def end(self, final_time: int, events_fired: int,
             fingerprint: str) -> None:
         raw = fingerprint.encode("ascii")
@@ -226,11 +275,16 @@ class LogRecord:
     """One decoded record, with interned strings resolved.
 
     ``op`` is ``"dispatch"``/``"tap"``/``"state"``/``"defer"``/
-    ``"sched"``; the remaining fields are populated per kind (``None``
-    where a kind has no such field).  ``label`` carries the dispatch
-    label or the tap kind; for state records it is the state letter.
-    Sched records reuse ``cpu`` for the CPU *slot* and ``ref`` for the
-    workload thread; ``label`` is the :data:`SCHED_KIND_NAMES` entry.
+    ``"sched"``/``"txn"``; the remaining fields are populated per kind
+    (``None`` where a kind has no such field).  ``label`` carries the
+    dispatch label or the tap kind; for state records it is the state
+    letter.  Sched records reuse ``cpu`` for the CPU *slot* and ``ref``
+    for the workload thread; ``label`` is the :data:`SCHED_KIND_NAMES`
+    entry.  Txn records put the :data:`TXN_KIND_NAMES` index in
+    ``flags``; ``label`` is the elision-site pc (begin) or restart
+    reason (abort), ``line`` the lock line (begin) or conflicting line
+    (abort), ``ref`` the attempt count (begin) or aborter cpu (abort,
+    ``None`` = unknown).
     """
 
     op: str
@@ -260,6 +314,14 @@ class LogRecord:
         if self.op == "sched":
             return (f"{self.time:>9} {self.op:<9} slot{self.cpu} "
                     f"{self.label} thread={self.ref}")
+        if self.op == "txn":
+            kind = TXN_KIND_NAMES[self.flags]
+            if self.flags == TXN_BEGIN:
+                extra = f" {self.label}{where} attempts={self.ref}"
+            elif self.flags == TXN_ABORT:
+                by = f" by cpu{self.ref}" if self.ref is not None else ""
+                extra = f" {self.label}{where}{by}"
+            return f"{self.time:>9} {self.op:<9}{who} {kind}{extra}"
         if self.ref:
             extra = f" #{self.ref}"
         return f"{self.time:>9} {self.op:<9}{who} {self.label}{where}{extra}"
@@ -366,6 +428,32 @@ def iter_records(data: bytes, pos: int
             yield LogRecord(op="sched", time=last_time, cpu=slot - 1,
                             label=SCHED_KIND_NAMES[kind], ref=thread - 1,
                             flags=kind)
+        elif op == OP_TXN:
+            dt, pos = _read_varint(data, pos)
+            kind = data[pos]
+            pos += 1
+            cpu, pos = _read_varint(data, pos)
+            last_time += dt
+            if kind == TXN_BEGIN:
+                line, pos = _read_varint(data, pos)
+                pc_id, pos = _read_varint(data, pos)
+                attempts, pos = _read_varint(data, pos)
+                yield LogRecord(op="txn", time=last_time, cpu=cpu - 1,
+                                label=strings[pc_id],
+                                line=line - 1 if line else None,
+                                ref=attempts, flags=kind)
+            elif kind == TXN_COMMIT:
+                yield LogRecord(op="txn", time=last_time, cpu=cpu - 1,
+                                flags=kind)
+            else:
+                reason_id, pos = _read_varint(data, pos)
+                line, pos = _read_varint(data, pos)
+                aborter, pos = _read_varint(data, pos)
+                yield LogRecord(op="txn", time=last_time, cpu=cpu - 1,
+                                label=strings[reason_id],
+                                line=line - 1 if line else None,
+                                ref=aborter - 1 if aborter else None,
+                                flags=kind)
         elif op == OP_END:
             final_time, pos = _read_varint(data, pos)
             fired, pos = _read_varint(data, pos)

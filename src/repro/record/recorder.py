@@ -49,6 +49,47 @@ _DEFER_KINDS = frozenset({"defer", "service", "commit", "abort", "loss"})
 _STATE_INDEX = {name: index for index, name in enumerate(STATE_NAMES)}
 
 
+class _TxnWriterSink:
+    """Adapts :class:`~repro.obs.profile.TxnTapFolder` events into
+    ``OP_TXN`` records on the recorder's writer.
+
+    Deferral push/service events are deliberate no-ops here: the raw
+    ``defer``/``service`` taps are already in the log as ``OP_TAP``
+    records carrying the dense request ref, and the post-hoc fold
+    (:func:`repro.obs.causal.profile_from_log`) rebuilds wait times
+    from those -- duplicating them as txn records would bloat the log
+    for no information.
+    """
+
+    def __init__(self, recorder: "FlightRecorder"):
+        self._recorder = recorder
+
+    def txn_begin(self, time: int, cpu: int, lock_line, pc: str,
+                  attempts: int) -> None:
+        if self._recorder._drop("txn"):
+            return
+        writer = self._recorder._writer
+        writer.txn_begin(time, cpu, lock_line, writer.intern(pc), attempts)
+
+    def txn_commit(self, time: int, cpu: int) -> None:
+        if not self._recorder._drop("txn"):
+            self._recorder._writer.txn_commit(time, cpu)
+
+    def txn_abort(self, time: int, cpu: int, reason: str, conflict_line,
+                  aborter: int) -> None:
+        if self._recorder._drop("txn"):
+            return
+        writer = self._recorder._writer
+        writer.txn_abort(time, cpu, writer.intern(reason), conflict_line,
+                         aborter)
+
+    def defer_push(self, time: int, holder_cpu: int, key) -> None:
+        pass
+
+    def defer_service(self, time: int, key) -> None:
+        pass
+
+
 def artifact_dir() -> str:
     """Where auto-captured logs land: ``$REPRO_ARTIFACT_DIR`` or
     ``./artifacts`` (created on first use)."""
@@ -104,9 +145,17 @@ class FlightRecorder:
     def attach(self, machine: "Machine") -> "FlightRecorder":
         """Install the kernel dispatch hook and register on the shared
         tap layer.  Call before ``run_workload``."""
+        from repro.obs.profile import TxnTapFolder
+
         self._machine = machine
         machine.sim.on_dispatch = self._on_dispatch
-        MachineTaps.ensure(machine).add_consumer(self)
+        taps = MachineTaps.ensure(machine).add_consumer(self)
+        # The txn folder runs *after* the raw-tap consumer above, so
+        # each OP_TXN record lands right behind the OP_TAP record of
+        # the event it folds -- a deterministic interleaving the
+        # post-hoc profiler relies on.
+        taps.add_consumer(
+            TxnTapFolder(_TxnWriterSink(self)).attach_machine(machine))
         # Scheduler switch-in/out/migration events (repro.sched) become
         # OP_SCHED records.  With the scheduler off (the default) the
         # engine is never constructed, nothing ever calls the listener,
@@ -252,6 +301,7 @@ def record_run(spec: RunSpec) -> RecordedRun:
     """
     from repro.harness.machine import Machine
     from repro.obs import MachineMetrics
+    from repro.obs.profile import LockProfiler
     from repro.runtime.program import ValidationError
     from repro.sim.kernel import SimulationError
 
@@ -261,16 +311,23 @@ def record_run(spec: RunSpec) -> RecordedRun:
         spec, locks=sorted(workload.lock_addrs)).attach(machine)
     collector = (MachineMetrics().attach(machine)
                  if spec.config.metrics else None)
+    profiler = (LockProfiler().attach(machine)
+                if spec.config.metrics else None)
     error: Optional[str] = None
     try:
         machine.run_workload(workload, validate=spec.validate)
     except (ValidationError, SimulationError) as exc:
         error = f"{type(exc).__name__}: {exc}"
+    metrics = None
+    if collector is not None:
+        if profiler is not None:
+            profiler.publish(collector.registry)
+        metrics = collector.finalize(machine)
+        if profiler is not None:
+            metrics["profile"] = profiler.snapshot()
     result = RunResult(
         config=spec.config, workload_name=workload.name,
-        stats=machine.stats, store=machine.store,
-        metrics=(collector.finalize(machine)
-                 if collector is not None else None))
+        stats=machine.stats, store=machine.store, metrics=metrics)
     fingerprint = result_fingerprint(result)
     log = recorder.finish(fingerprint)
     return RecordedRun(result=result, log=log, fingerprint=fingerprint,

@@ -16,7 +16,8 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.cpu.isa import line_of
-from repro.record.format import (DEFER_PUSH, LogImage, LogRecord, load_log)
+from repro.record.format import (DEFER_PUSH, TXN_ABORT, LogImage, LogRecord,
+                                 load_log)
 
 #: Tap kinds that open/close a CPU's transaction window.
 _TXN_OPEN = "txn-begin"
@@ -200,7 +201,17 @@ class Timeline:
     def txn_spans(self, cpu: Optional[int] = None
                   ) -> list[tuple[int, int, int, str]]:
         """(cpu, begin, end, outcome) for every closed transaction
-        window, in begin order."""
+        window, in begin order.
+
+        Aborted windows carry the restart reason from the co-located
+        ``OP_TXN`` abort record (e.g. ``loss:conflict-lost``,
+        ``abort:deschedule``) -- the same reason vocabulary
+        :mod:`repro.cpu.processor` uses.  Logs whose txn records were
+        capacity-dropped fall back to the bare closing tap kind.
+        """
+        reasons = {(record.cpu, record.time): record.label
+                   for record in self.records
+                   if record.op == "txn" and record.flags == TXN_ABORT}
         open_since: dict[int, int] = {}
         spans: list[tuple[int, int, int, str]] = []
         for record in self.records:
@@ -211,8 +222,12 @@ class Timeline:
             elif record.label in _TXN_CLOSE:
                 begin = open_since.pop(record.cpu, None)
                 if begin is not None:
-                    spans.append((record.cpu, begin, record.time,
-                                  record.label))
+                    outcome = record.label
+                    if outcome != "commit":
+                        reason = reasons.get((record.cpu, record.time))
+                        if reason is not None:
+                            outcome = f"{outcome}:{reason}"
+                    spans.append((record.cpu, begin, record.time, outcome))
         if cpu is not None:
             spans = [s for s in spans if s[0] == cpu]
         spans.sort(key=lambda s: (s[1], s[0]))

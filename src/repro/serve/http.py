@@ -15,6 +15,9 @@ Endpoints:
 * ``GET /jobs/<id>/artifacts/<name>`` -- download one artifact as
   ``application/octet-stream``.
 * ``GET /metrics`` -- service counters in OpenMetrics text format.
+* ``GET /dashboard`` -- the live HTML dashboard
+  (:mod:`repro.serve.dashboard`): job table, SSE-fed event stream and
+  the finished job's per-lock contention profile / conflict matrix.
 * ``GET /healthz`` -- liveness.
 
 The server is a ``ThreadingHTTPServer``: every request (including
@@ -90,6 +93,10 @@ class JobHandler(BaseHTTPRequestHandler):
                 "result_schema": RESULT_SCHEMA,
             })
             self._send_text(200, text, OPENMETRICS_CONTENT_TYPE)
+        elif path == "/dashboard":
+            from repro.serve.dashboard import (DASHBOARD_CONTENT_TYPE,
+                                               DASHBOARD_HTML)
+            self._send_text(200, DASHBOARD_HTML, DASHBOARD_CONTENT_TYPE)
         elif path == "/jobs":
             self._send_json(200, {"jobs": [
                 job.to_dict(include_result=False)

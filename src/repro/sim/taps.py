@@ -105,6 +105,16 @@ class MachineTaps:
         for processor in machine.processors:
             for method, kind in PROCESSOR_HOOKS.items():
                 self._wrap(processor, method, kind)
+            # The controller captured the *bound* _on_misspeculation in
+            # Processor.__init__, before the shim above replaced the
+            # attribute -- so controller-initiated losses (conflict
+            # aborts, capacity overflow) would bypass the "misspec" tap
+            # entirely.  Re-point the callback at the shim so every
+            # abort path fires; the shim only fans out to pure
+            # observers before calling the original, so untapped
+            # behavior is unchanged.
+            processor.controller.on_misspeculation = \
+                processor._on_misspeculation
         self._wrap_issue(machine.bus)
 
     def _wrap(self, obj, method_name: str, kind: str) -> None:

@@ -134,19 +134,25 @@ class Tracer:
             self.record(time, cpu, kind, request.line, repr(request),
                         ref=request.req_id)
             return
+        # loss/misspec carry the restart reason first; threading it
+        # through lets txn spans say *why* they aborted.
+        reason = (args[0] if kind in ("loss", "misspec") and args
+                  and isinstance(args[0], str) else None)
         self.record(time, cpu, kind, _line_of_args(args, kind),
-                    _describe(args), ref=_ref_of_args(args))
+                    _describe(args), ref=_ref_of_args(args),
+                    reason=reason)
 
     # ------------------------------------------------------------------
     # Recording and querying
     # ------------------------------------------------------------------
     def record(self, time: int, cpu: int, kind: str,
                line: Optional[int], detail: str,
-               ref: Optional[int] = None) -> None:
+               ref: Optional[int] = None,
+               reason: Optional[str] = None) -> None:
         # Span pairing happens regardless of the instant buffer's
         # capacity: spans are few (one per txn/defer/miss) and losing
         # their ends alongside dropped instants would corrupt durations.
-        self._update_spans(time, cpu, kind, line, ref)
+        self._update_spans(time, cpu, kind, line, ref, reason)
         if len(self.events) >= self.capacity:
             self.dropped += 1
             if self.ring:
@@ -177,13 +183,25 @@ class Tracer:
         return cpu
 
     def _update_spans(self, time: int, cpu: int, kind: str,
-                      line: Optional[int], ref: Optional[int]) -> None:
+                      line: Optional[int], ref: Optional[int],
+                      reason: Optional[str] = None) -> None:
         span_kind = _SPAN_OPENERS.get(kind)
         if span_kind is not None:
             open_spans = self._open[span_kind]
             key = self._txn_key(cpu) if span_kind == "txn" else ref
             if key is not None or span_kind == "txn":
                 open_spans.setdefault(key, (time, cpu, line))
+            return
+        if kind == "misspec" and reason is not None:
+            # A resource fallback closes its span at the preceding
+            # "abort" tap, before the restart reason exists; the
+            # misspec that follows in the same cycle patches it in.
+            for span in reversed(self.spans):
+                if span.cpu != cpu or span.kind != "txn":
+                    continue
+                if span.end == time and span.detail == "abort":
+                    span.detail = f"abort:{reason}"
+                break
             return
         closer = _SPAN_CLOSERS.get(kind)
         if closer is None:
@@ -194,6 +212,8 @@ class Tracer:
         if opened is None:
             return  # no matching begin (e.g. abort outside speculation)
         begin, span_cpu, span_line = opened
+        if span_kind == "txn" and outcome == "loss" and reason is not None:
+            outcome = f"loss:{reason}"
         self.spans.append(SpanEvent(begin=begin, end=time, cpu=span_cpu,
                                     kind=span_kind,
                                     line=span_line if span_line is not None

@@ -120,7 +120,7 @@ class TestVerifyCapture:
         # shrunk reproduction must come with a record log.
         monkeypatch.setattr(
             controller_module.CacheController, "_handle_loss",
-            lambda self, reason, line_addr, ts=None: None)
+            lambda self, reason, line_addr, ts=None, aborter=-1: None)
         spec = replace(_spec(ops=64), validate=False)
         result, _ = verify_run(spec)
         assert not result.ok, "injected lost updates went undetected"
@@ -149,7 +149,7 @@ class TestLitmusConformance:
     def test_atomicity_litmus_catches_lost_updates(self, monkeypatch):
         monkeypatch.setattr(
             controller_module.CacheController, "_handle_loss",
-            lambda self, reason, line_addr, ts=None: None)
+            lambda self, reason, line_addr, ts=None, aborter=-1: None)
         spec = replace(_spec("litmus-atomicity", ops=64), validate=False)
         result, _ = verify_run(spec, VerifyOptions(monitors=False))
         assert not result.ok, (

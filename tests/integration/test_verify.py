@@ -117,7 +117,7 @@ def ignored_losses(monkeypatch):
     running on stale data instead of restarting (lost updates)."""
     monkeypatch.setattr(
         controller_module.CacheController, "_handle_loss",
-        lambda self, reason, line_addr, ts=None: None)
+        lambda self, reason, line_addr, ts=None, aborter=-1: None)
 
 
 class TestMutationDetection:

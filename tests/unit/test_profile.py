@@ -1,0 +1,345 @@
+"""Unit tests for the causal profiling layer (``repro.obs.profile``):
+cause bucketing, the event-folding builder, the tap folder's abort
+attribution, OP_TXN record round-trips, the renderers, and the
+``MachineMetrics.finalize`` edge cases the profiler wiring leans on."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cpu.checkpoint import ElisionRecord, SpeculationCheckpoint
+from repro.harness.config import SyncScheme
+from repro.harness.runner import execute_workload
+from repro.obs import MachineMetrics
+from repro.obs.profile import (ABORT_CAUSES, CAUSE_OF, ProfileBuilder,
+                               TxnTapFolder, cause_of, critical_path,
+                               describe_chain, matrix_canonical_json,
+                               render_folded, render_markdown)
+from repro.record.format import (TXN_ABORT, TXN_BEGIN, TXN_COMMIT,
+                                 LogWriter, iter_records)
+from repro.workloads.microbench import single_counter
+
+from tests.conftest import small_config
+
+
+class TestCauseBuckets:
+    def test_every_mapped_reason_lands_in_a_declared_cause(self):
+        for reason, cause in CAUSE_OF.items():
+            assert cause in ABORT_CAUSES, (reason, cause)
+
+    def test_resource_reasons_are_not_conflicts(self):
+        for reason in ("capacity", "wb-overflow", "non-silent-pair"):
+            assert cause_of(reason) != "conflict", reason
+
+    def test_representative_buckets(self):
+        assert cause_of("conflict-lost") == "conflict"
+        assert cause_of("aborted-by-holder") == "nack"
+        assert cause_of("deschedule") == "context-switch"
+        assert cause_of("capacity") == "capacity"
+        assert cause_of("non-silent-pair") == "fallback"
+        assert cause_of("terminated") == "other"
+
+
+class TestProfileBuilder:
+    def test_commit_accounting(self):
+        builder = ProfileBuilder()
+        builder.txn_begin(100, 0, 0x40, "main.cs", 1)
+        builder.txn_commit(140, 0)
+        snap = builder.snapshot()
+        stats = snap["locks"]["0x40"]
+        assert stats["attempts"] == 1 and stats["commits"] == 1
+        assert stats["cycles_committed"] == 40
+        assert stats["commit_rate"] == 1.0
+        assert stats["pcs"] == {"main.cs": 1}
+        assert snap["conflicts"] == {}
+
+    def test_abort_builds_matrix_and_chain(self):
+        builder = ProfileBuilder()
+        builder.txn_begin(100, 3, 0x40, "list.push", 2)
+        builder.txn_abort(160, 3, "conflict-lost", 0x48, 1)
+        snap = builder.snapshot()
+        stats = snap["locks"]["0x40"]
+        assert stats["aborts"] == 1
+        assert stats["aborts_by_cause"] == {"conflict": 1}
+        assert stats["aborts_by_reason"] == {"conflict-lost": 1}
+        assert stats["cycles_lost"] == 60
+        assert snap["conflicts"] == {"3": {"1": 1}}
+        chain = snap["chains"][0]
+        assert chain["victim"] == 3 and chain["aborter"] == 1
+        assert chain["conflict_line"] == 0x48
+        sentence = describe_chain(chain)
+        assert "cpu 3" in sentence and "by cpu 1" in sentence
+        assert "conflict-lost" in sentence
+
+    def test_unattributed_abort_uses_minus_one_column(self):
+        builder = ProfileBuilder()
+        builder.txn_begin(0, 1, 0x40, "p", 1)
+        builder.txn_abort(5, 1, "relaxation-revoked", None, -1)
+        snap = builder.snapshot()
+        assert snap["conflicts"] == {"1": {"-1": 1}}
+        assert "by cpu" not in describe_chain(snap["chains"][0])
+
+    def test_close_without_open_is_ignored(self):
+        builder = ProfileBuilder()
+        builder.txn_commit(10, 0)
+        builder.txn_abort(10, 1, "conflict-lost", None, 0)
+        assert builder.snapshot()["totals"]["attempts"] == 0
+
+    def test_deferral_wait_attributed_to_holders_lock(self):
+        builder = ProfileBuilder()
+        builder.txn_begin(0, 0, 0x40, "p", 1)
+        builder.defer_push(10, 0, "req-7")       # holder cpu0 owns 0x40
+        builder.defer_service(35, "req-7")
+        builder.txn_commit(40, 0)
+        stats = builder.snapshot()["locks"]["0x40"]
+        assert stats["deferrals"] == 1
+        assert stats["deferral_cycles"] == 25
+
+    def test_unmatched_service_and_unknown_holder(self):
+        builder = ProfileBuilder()
+        builder.defer_service(10, "never-pushed")   # ignored
+        builder.defer_push(5, 2, "k")               # cpu2 has no open txn
+        builder.defer_service(9, "k")
+        snap = builder.snapshot()
+        assert snap["locks"]["?"]["deferral_cycles"] == 4
+        assert snap["totals"]["deferrals"] == 1
+
+    def test_finalize_counts_unclosed(self):
+        builder = ProfileBuilder()
+        builder.txn_begin(0, 0, 0x40, "p", 1)
+        builder.txn_begin(0, 1, 0x40, "p", 1)
+        builder.txn_commit(9, 1)
+        builder.finalize()
+        assert builder.snapshot()["totals"]["unclosed"] == 1
+
+    def test_matrix_canonical_json_is_sorted_and_compact(self):
+        builder = ProfileBuilder()
+        for victim, aborter in ((2, 0), (1, 3), (2, 1)):
+            builder.txn_begin(0, victim, 0x40, "p", 1)
+            builder.txn_abort(4, victim, "conflict-lost", None, aborter)
+        text = matrix_canonical_json(builder.snapshot())
+        assert text == '{"1":{"3":1},"2":{"0":1,"1":1}}'
+
+
+class _Sink:
+    """Records every normalized event, in order."""
+
+    def __init__(self):
+        self.events = []
+
+    def __getattr__(self, name):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return lambda *args: self.events.append((name,) + args)
+
+
+def _machine_stub(lock_addr=0x40, pc="site.a", attempts=3):
+    checkpoint = SpeculationCheckpoint(start_time=0, ts=(0, 0),
+                                       root_depth=0, attempts=attempts)
+    checkpoint.push(ElisionRecord(lock_addr=lock_addr, free_value=0,
+                                  held_value=1, pc=pc, depth=0))
+    spec = SimpleNamespace(checkpoint=checkpoint)
+    return SimpleNamespace(processors=[SimpleNamespace(spec=spec)] * 8)
+
+
+class TestTxnTapFolder:
+    def test_begin_reads_checkpoint(self):
+        sink = _Sink()
+        folder = TxnTapFolder(sink).attach_machine(
+            _machine_stub(lock_addr=0x87, pc="x.y", attempts=5))
+        folder.on_tap(10, 2, "txn-begin", ((0, 2),), None)
+        # lock addr 0x87 -> its cache line, pc and attempts verbatim.
+        from repro.cpu.isa import line_of
+        assert sink.events == [
+            ("txn_begin", 10, 2, line_of(0x87), "x.y", 5)]
+
+    def test_loss_stash_consumed_by_same_cycle_misspec(self):
+        sink = _Sink()
+        folder = TxnTapFolder(sink).attach_machine(_machine_stub())
+        folder.on_tap(0, 1, "txn-begin", ((0, 1),), None)
+        folder.on_tap(50, 1, "loss", ("conflict-lost", 0x48, (0, 3), 3),
+                      None)
+        folder.on_tap(50, 1, "misspec", ("conflict-lost", 0x48), None)
+        assert sink.events[-1] == \
+            ("txn_abort", 50, 1, "conflict-lost", 0x48, 3)
+
+    def test_stale_loss_stash_is_not_consumed(self):
+        sink = _Sink()
+        folder = TxnTapFolder(sink).attach_machine(_machine_stub())
+        folder.on_tap(0, 1, "txn-begin", ((0, 1),), None)
+        folder.on_tap(50, 1, "loss", ("conflict-lost", 0x48, (0, 3), 3),
+                      None)
+        # The loss handler early-returned (no misspec at t=50); a later
+        # resource abort must not inherit the stale attribution.
+        folder.on_tap(90, 1, "misspec", ("capacity", 0x10), None)
+        assert sink.events[-1] == ("txn_abort", 90, 1, "capacity",
+                                   0x10, -1)
+
+    def test_memory_origin_probe_attributed_via_timestamp(self):
+        sink = _Sink()
+        folder = TxnTapFolder(sink).attach_machine(_machine_stub())
+        folder.on_tap(0, 2, "txn-begin", ((0, 2),), None)
+        folder.on_tap(7, 2, "loss", ("probe-lost", 0x48, (4, 1), -1),
+                      None)
+        folder.on_tap(7, 2, "misspec", ("probe-lost", 0x48), None)
+        assert sink.events[-1] == ("txn_abort", 7, 2, "probe-lost",
+                                   0x48, 1)
+
+    def test_events_outside_open_txn_ignored(self):
+        sink = _Sink()
+        folder = TxnTapFolder(sink).attach_machine(_machine_stub())
+        folder.on_tap(1, 0, "txn-commit", (), None)
+        folder.on_tap(2, 0, "loss", ("conflict-lost", 0x48, None), None)
+        folder.on_tap(3, 0, "misspec", ("terminated", 0), None)
+        assert sink.events == []
+
+
+class TestOpTxnRoundTrip:
+    def _roundtrip(self, emit):
+        import io
+        buffer = io.BytesIO()
+        writer = LogWriter(buffer, {})
+        emit(writer)
+        writer.end(0, 0, "00")
+        data = buffer.getvalue()
+        from repro.record.format import read_header
+        _, pos = read_header(data)
+        records = [r for r in iter_records(data, pos)
+                   if getattr(r, "op", None) == "txn"]
+        return records
+
+    def test_begin(self):
+        def emit(writer):
+            writer.txn_begin(11, 3, 0x40, writer.intern("pc.x"), 4)
+        (record,) = self._roundtrip(emit)
+        assert record.flags == TXN_BEGIN and record.cpu == 3
+        assert record.line == 0x40 and record.label == "pc.x"
+        assert record.ref == 4
+        assert "pc.x" in record.render()
+
+    def test_begin_with_unknown_lock(self):
+        def emit(writer):
+            writer.txn_begin(0, 0, None, writer.intern(""), 1)
+        (record,) = self._roundtrip(emit)
+        assert record.line is None
+
+    def test_commit(self):
+        def emit(writer):
+            writer.txn_commit(5, 1)
+        (record,) = self._roundtrip(emit)
+        assert record.flags == TXN_COMMIT and record.cpu == 1
+
+    def test_abort_attributed_and_not(self):
+        def emit(writer):
+            reason = writer.intern("conflict-lost")
+            writer.txn_abort(9, 2, reason, 0x48, 1)
+            writer.txn_abort(12, 3, writer.intern("relaxation-revoked"),
+                             None, -1)
+        attributed, unattributed = self._roundtrip(emit)
+        assert attributed.label == "conflict-lost"
+        assert attributed.line == 0x48 and attributed.ref == 1
+        assert "by cpu1" in attributed.render()
+        assert unattributed.line is None and unattributed.ref is None
+
+
+class TestRenderers:
+    def _snapshot(self):
+        builder = ProfileBuilder()
+        builder.txn_begin(0, 0, 0x40, "a.cs", 1)
+        builder.txn_commit(30, 0)
+        builder.txn_begin(40, 1, 0x80, "b.cs", 1)
+        builder.txn_abort(90, 1, "conflict-lost", 0x84, 0)
+        return builder.snapshot()
+
+    def test_markdown_report(self):
+        text = render_markdown(self._snapshot(), title="t")
+        assert "# t" in text
+        assert "| 0x40 | a.cs |" in text
+        assert "who aborts whom" in text
+        assert "conflict-lost" in text
+
+    def test_critical_path_ranks_by_contention(self):
+        ranked = critical_path(self._snapshot())
+        assert [lock for lock, _ in ranked] == ["0x80", "0x40"]
+
+    def test_folded_stacks(self):
+        lines = render_folded(self._snapshot()).splitlines()
+        assert "0x40;a.cs;committed 30" in lines
+        assert "0x80;b.cs;conflict 50" in lines
+
+    def test_empty_profile_renders(self):
+        assert render_folded({"folded": {}}) == ""
+        assert "0 elision attempts" in render_markdown({})
+
+
+class TestMachineMetricsFinalizeEdges:
+    """The collector edge cases the profiler wiring leans on."""
+
+    def test_finalize_without_machine(self):
+        metrics = MachineMetrics().finalize()
+        assert "meta" not in metrics
+        assert not any(key.startswith("restart.reason.")
+                       for key in metrics["counters"])
+
+    def test_double_attach_does_not_double_count(self):
+        workload = single_counter(2, 64)
+        config = small_config(2, SyncScheme.TLR)
+        single = execute_workload(workload, config).metrics
+
+        from repro.harness.machine import Machine
+        machine = Machine(small_config(2, SyncScheme.TLR))
+        collector = MachineMetrics()
+        assert collector.attach(machine) is collector
+        collector.attach(machine)   # idempotent re-point
+        machine.run_workload(single_counter(2, 64))
+        doubled = collector.finalize(machine)
+        # execute_workload additionally publishes profile.* aggregates;
+        # the bare collector comparison covers everything else.
+        expected = {key: value for key, value in
+                    single["counters"].items()
+                    if not key.startswith("profile.")}
+        assert doubled["counters"] == expected
+
+    def test_sched_gauges_absent_when_engine_off(self):
+        result = execute_workload(single_counter(2, 64),
+                                  small_config(2, SyncScheme.TLR))
+        gauges = result.metrics["gauges"]
+        assert "sched.slots" not in gauges
+        assert not any(key.startswith("sched.thread.")
+                       for key in gauges)
+
+
+class TestTrendDirections:
+    def test_profiler_metric_directions(self):
+        from repro.harness import trend
+        assert trend.direction_of(
+            "results.totals.timestamp/linked-list.commit_rate") == "higher"
+        assert trend.direction_of(
+            "results.totals.nack/linked-list.cycles_lost") == "lower"
+        assert trend.direction_of(
+            "results.totals.nack/linked-list.deferral_cycles") == "lower"
+        assert trend.direction_of(
+            "results.totals.nack/linked-list.aborts") == "lower"
+
+
+class TestProfilePublish:
+    def test_profile_families_reach_the_registry_export(self):
+        result = execute_workload(single_counter(4, 128),
+                                  small_config(4, SyncScheme.TLR))
+        counters = result.metrics["counters"]
+        assert counters["profile.txn.attempts"] >= \
+            counters["profile.txn.commits"] > 0
+        assert "profile.commit_rate" in result.metrics["gauges"]
+        # The aggregates agree with the detailed snapshot riding along.
+        totals = result.metrics["profile"]["totals"]
+        assert counters["profile.txn.attempts"] == totals["attempts"]
+        assert counters["profile.cycles_lost"] == totals["cycles_lost"]
+
+    def test_snapshot_round_trips_through_run_result_json(self):
+        from repro.harness.runner import RunResult
+        result = execute_workload(single_counter(2, 64),
+                                  small_config(2, SyncScheme.TLR))
+        clone = RunResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert clone.metrics["profile"] == result.metrics["profile"]

@@ -168,6 +168,11 @@ def _build_parser() -> argparse.ArgumentParser:
     policies_cmd.add_argument("--app-scale", type=int, default=12,
                               help="application-kernel scale per run")
     policies_cmd.add_argument("--base-seed", type=int, default=0)
+    policies_cmd.add_argument(
+        "--backend", choices=SystemConfig.KNOWN_BACKENDS,
+        default="reference",
+        help="event-core backend for every grid cell (bit-identical; "
+             "batched is faster at high CPU counts)")
     _engine_opts(policies_cmd)
 
     sched_cmd = sub.add_parser(
@@ -203,6 +208,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sched_cmd.add_argument("--app-scale", type=int, default=12,
                            help="application-kernel scale per run")
     sched_cmd.add_argument("--base-seed", type=int, default=0)
+    sched_cmd.add_argument(
+        "--backend", choices=SystemConfig.KNOWN_BACKENDS,
+        default="reference",
+        help="event-core backend for every grid cell (bit-identical; "
+             "batched is faster at high CPU counts)")
     _engine_opts(sched_cmd)
 
     trend_cmd = sub.add_parser(
@@ -245,6 +255,16 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="quarter-size workloads (CI smoke)")
     perf_cmd.add_argument("--repeats", type=int, default=3,
                           help="runs per workload; best wall time wins")
+    perf_cmd.add_argument("--backend", choices=SystemConfig.KNOWN_BACKENDS,
+                          default="reference",
+                          help="kernel backend to measure "
+                               "(default reference)")
+    perf_cmd.add_argument("--ab", action="store_true",
+                          help="measure both backends interleaved in one "
+                               "process; records batched rows and the "
+                               "speedup table under config.backends and "
+                               "fails on any cross-backend fingerprint "
+                               "mismatch")
     perf_cmd.add_argument("--out", type=str, default=None,
                           help="write the BENCH-schema payload to this "
                                "path (e.g. BENCH_perf.json)")
@@ -335,6 +355,10 @@ def _build_parser() -> argparse.ArgumentParser:
     runner.add_argument("--migrate", action="store_true",
                         help="with --sched: let threads run on any "
                              "slot instead of a pinned home slot")
+    runner.add_argument("--backend", choices=SystemConfig.KNOWN_BACKENDS,
+                        default="reference",
+                        help="event-core backend (bit-identical results; "
+                             "REPRO_KERNEL_BACKEND overrides)")
     _engine_opts(runner)
 
     replay_cmd = sub.add_parser(
@@ -732,7 +756,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             "policies", policies=policies, workloads=workloads,
             processor_counts=list(args.procs), seeds=args.seeds,
             ops=args.ops, app_scale=args.app_scale,
-            base_seed=args.base_seed), args)
+            base_seed=args.base_seed, backend=args.backend), args)
         grid = PolicyGridResult.from_dict(job.result)
         if args.json:
             print(json.dumps(job.result, indent=2))
@@ -773,7 +797,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             workloads=workloads, num_cpus=args.cpus,
             threads_per_cpu=args.threads_per_cpu, migrate=args.migrate,
             seeds=args.seeds, ops=args.ops, app_scale=args.app_scale,
-            base_seed=args.base_seed), args)
+            base_seed=args.base_seed, backend=args.backend), args)
         grid = SchedGridResult.from_dict(job.result)
         if args.json:
             print(json.dumps(job.result, indent=2))
@@ -827,7 +851,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         workload_args = ({SIZE_PARAM[args.workload]: args.ops}
                          if args.ops is not None else {})
         config = SystemConfig(num_cpus=args.cpus, scheme=scheme,
-                              seed=args.seed)
+                              seed=args.seed,
+                              kernel_backend=args.backend)
         if args.sched:
             from repro.sched import KNOWN_SCHEDULERS
             if args.sched not in KNOWN_SCHEDULERS:
@@ -898,7 +923,8 @@ def main(argv: Optional[list[str]] = None) -> int:
                 print(f"perf: {exc}", file=sys.stderr)
                 return 2
         job = submit(JobSpec.perf(quick=args.quick, repeats=args.repeats,
-                                  baseline=baseline))
+                                  baseline=baseline,
+                                  backend=args.backend, ab=args.ab))
         payload = job.result
         if args.out:
             from pathlib import Path
@@ -908,6 +934,12 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(json.dumps(payload, indent=2, sort_keys=True))
         else:
             print(perf.render_table(payload))
+        if args.ab:
+            mismatches = perf.check_backend_fingerprints(payload)
+            for mismatch in mismatches:
+                print(f"backend divergence: {mismatch}", file=sys.stderr)
+            if mismatches:
+                return 1
         if args.check:
             try:
                 reference = perf.load_reference(args.check)

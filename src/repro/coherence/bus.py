@@ -50,7 +50,12 @@ class LineDirectory:
             self._owner[line] = node
 
     def sharers(self, line: int) -> set[int]:
-        return self._sharers.setdefault(line, set())
+        # Open-coded setdefault: the default set() argument would be
+        # allocated on every call, hit or miss.
+        s = self._sharers.get(line)
+        if s is None:
+            s = self._sharers[line] = set()
+        return s
 
     def add_sharer(self, line: int, node: int) -> None:
         self.sharers(line).add(node)
@@ -79,6 +84,13 @@ class Bus:
         self._next_grant_time = 0
         self._outstanding = 0
         self._granting = False
+        # Arbitration constants, hoisted out of the per-transaction pump
+        # and grant paths.  The directory interconnect reuses this
+        # constructor with a DirectoryConfig, which provides only the
+        # attributes its overridden issue path touches -- hence getattr.
+        self._max_outstanding = config.max_outstanding
+        self._occupancy = getattr(config, "occupancy", 0)
+        self._snoop_latency = getattr(config, "snoop_latency", 0)
         # Bound-method dispatch for the order point, built once instead
         # of per transaction.
         self._order_handlers = {
@@ -119,10 +131,12 @@ class Bus:
     def _pump(self) -> None:
         if self._granting or not self._queue:
             return
-        if self._outstanding >= self.config.max_outstanding:
+        if self._outstanding >= self._max_outstanding:
             return
         self._granting = True
-        delay = max(0, self._next_grant_time - self.sim.now)
+        delay = self._next_grant_time - self.sim.now
+        if delay < 0:
+            delay = 0
         self.sim.schedule(delay, self._grant, label="bus-grant")
 
     def _grant(self) -> None:
@@ -132,16 +146,18 @@ class Bus:
             self._queue.popleft()
         if not self._queue:
             return
-        if self._outstanding >= self.config.max_outstanding:
+        if self._outstanding >= self._max_outstanding:
             return
         request = self._queue.popleft()
         self._outstanding += 1
-        self.stats.bus_transactions += 1
-        self.stats.bus_busy_cycles += self.config.occupancy
-        self._next_grant_time = self.sim.now + self.config.occupancy
+        occupancy = self._occupancy
+        stats = self.stats
+        stats.bus_transactions += 1
+        stats.bus_busy_cycles += occupancy
+        self._next_grant_time = self.sim.now + occupancy
         label = (f"bus-order {request!r}" if self.sim.verbose_labels
                  else "bus-order")
-        self.sim.schedule(self.config.snoop_latency, self._order, request,
+        self.sim.schedule(self._snoop_latency, self._order, request,
                           label=label)
         self._pump()
 
@@ -167,7 +183,7 @@ class Bus:
         self._outstanding -= 1
         requester = self.controllers[request.requester]
         label = f"nack {request!r}" if self.sim.verbose_labels else "nack"
-        self.sim.schedule(self.config.snoop_latency,
+        self.sim.schedule(self._snoop_latency,
                           requester.handle_nack, request,
                           label=label)
         self._pump()

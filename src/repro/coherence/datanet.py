@@ -28,11 +28,16 @@ class DataNetwork:
         self.stats = stats
         self.perturber = perturber
         self._next_slot = 0  # bandwidth model: next free delivery slot
+        # Hot-path aliases: one send per data message makes the config
+        # attribute chase and the _latency call wrapper measurable.
+        self._base_latency = config.data_latency
+        self._interval = config.data_bandwidth_interval
+        self._perturb = perturber.perturb if perturber is not None else None
 
     def _latency(self) -> int:
-        latency = self.config.data_latency
-        if self.perturber is not None:
-            latency = self.perturber.perturb(latency)
+        latency = self._base_latency
+        if self._perturb is not None:
+            latency = self._perturb(latency)
         return latency
 
     def send(self, deliver: Callable[..., None], *args,
@@ -44,16 +49,24 @@ class DataNetwork:
         model); otherwise the network is perfectly pipelined.
         """
         self.stats.data_messages += 1
-        delay = self._latency()
-        interval = self.config.data_bandwidth_interval
+        delay = self._base_latency
+        if self._perturb is not None:
+            delay = self._perturb(delay)
+        interval = self._interval
         if interval > 0:
-            earliest = max(self.sim.now + delay, self._next_slot)
+            now = self.sim.now
+            earliest = now + delay
+            if earliest < self._next_slot:
+                earliest = self._next_slot
             self._next_slot = earliest + interval
-            delay = earliest - self.sim.now
+            delay = earliest - now
         self.sim.schedule(delay, deliver, *args, label=label)
 
     def send_control(self, deliver: Callable[..., None], *args,
                      label: str = "ctl") -> None:
         """Control messages (markers, probes): same latency, not counted
         as data transfers."""
-        self.sim.schedule(self._latency(), deliver, *args, label=label)
+        delay = self._base_latency
+        if self._perturb is not None:
+            delay = self._perturb(delay)
+        self.sim.schedule(delay, deliver, *args, label=label)

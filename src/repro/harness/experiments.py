@@ -582,6 +582,7 @@ def policy_grid(policies: Optional[Sequence[str]] = None,
                 ops: int = 96,
                 app_scale: int = 12,
                 base_seed: int = 0,
+                backend: str = "reference",
                 config: Optional[SystemConfig] = None, *,
                 jobs: int = 1,
                 timeout: Optional[float] = None,
@@ -595,11 +596,13 @@ def policy_grid(policies: Optional[Sequence[str]] = None,
     serializability oracle, the policy-aware deferral-order monitor and
     the starvation watchdog all judge every run.  ``ops`` sizes the
     microbenchmarks; ``app_scale`` sizes the application kernels.
+    ``backend`` selects the event-core backend for every cell (the
+    backends are bit-identical, so this only affects wall time).
     """
     del retries  # verification failures are findings, never retried
     from repro.verify import VerifyOptions, verify_specs
     global _LAST_TELEMETRY
-    base = config or SystemConfig()
+    base = (config or SystemConfig()).with_backend(backend)
     policies = tuple(policies) if policies else DEFAULT_POLICY_GRID_POLICIES
     workloads = (tuple(workloads) if workloads
                  else DEFAULT_POLICY_GRID_WORKLOADS)
@@ -752,6 +755,7 @@ def sched_grid(schedulers: Optional[Sequence[str]] = None,
                ops: int = 96,
                app_scale: int = 12,
                base_seed: int = 0,
+               backend: str = "reference",
                config: Optional[SystemConfig] = None, *,
                jobs: int = 1,
                timeout: Optional[float] = None,
@@ -772,7 +776,7 @@ def sched_grid(schedulers: Optional[Sequence[str]] = None,
     del retries  # verification failures are findings, never retried
     from repro.verify import VerifyOptions, verify_specs
     global _LAST_TELEMETRY
-    base = config or SystemConfig()
+    base = (config or SystemConfig()).with_backend(backend)
     schedulers = (tuple(schedulers) if schedulers
                   else DEFAULT_SCHED_GRID_SCHEDULERS)
     quanta = tuple(quanta) if quanta else DEFAULT_SCHED_GRID_QUANTA

@@ -26,6 +26,18 @@ picks it up with no special casing: ``events_per_sec`` falling or
 measurement time live under ``config`` (``baseline``/``speedup``),
 which trend deliberately skips -- they describe the machine that wrote
 the artifact, not the commit under test.
+
+Backend A/B (``run_perf(ab=True)``) measures both kernel backends
+*interleaved in-process* -- reference rep, batched rep, reference rep,
+... -- so slow machine-state drift (thermal, cache, scheduler) hits
+both sides equally; process-to-process comparisons on shared hardware
+show +-15% noise, which would swamp the effect being measured.  The
+top-level ``results`` block always holds the reference rows (keeping
+``repro trend`` comparable against pre-A/B artifacts); batched rows
+and the speedup table land under ``config["backends"]`` /
+``config["speedup_batched_vs_reference"]``.  Because the backends are
+bit-identical, every A/B artifact doubles as an equivalence proof:
+:func:`check_backend_fingerprints` is the CI hard gate.
 """
 
 from __future__ import annotations
@@ -33,6 +45,7 @@ from __future__ import annotations
 import json
 import subprocess
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Optional, Union
 
@@ -47,14 +60,24 @@ ARTIFACT_NAME = "BENCH_perf.json"
 #: quarter-size variant (quick).
 _SIZES = {"full": {"fig09_single_counter": 2048,
                    "fig10_linked_list": 2048,
-                   "policy_grid_cell": 1024},
+                   "policy_grid_cell": 1024,
+                   "big_machine": 512},
           "quick": {"fig09_single_counter": 512,
                     "fig10_linked_list": 512,
-                    "policy_grid_cell": 256}}
+                    "policy_grid_cell": 256,
+                    "big_machine": 64}}
 
 
 def perf_specs(quick: bool = False) -> dict[str, RunSpec]:
-    """The measured workloads, name -> :class:`RunSpec`."""
+    """The measured workloads, name -> :class:`RunSpec`.
+
+    The specs are backend-neutral (reference by default);
+    :func:`measure_spec` applies a backend override so A/B mode can
+    reuse one spec for both sides.  ``big_machine`` is the scale point
+    the batched backend targets: 64 CPUs contending on the linked list
+    over the directory protocol, where the per-cycle bucket dispatch
+    amortizes across many same-cycle events.
+    """
     sizes = _SIZES["quick" if quick else "full"]
     cfg = SystemConfig(num_cpus=8, scheme=SyncScheme.TLR, seed=0)
     return {
@@ -68,6 +91,10 @@ def perf_specs(quick: bool = False) -> dict[str, RunSpec]:
         "policy_grid_cell": RunSpec(
             workload="linked-list", config=cfg.with_policy("backoff"),
             workload_args={"total_ops": sizes["policy_grid_cell"]}),
+        "big_machine": RunSpec(
+            workload="linked-list",
+            config=replace(cfg, num_cpus=64, protocol="directory"),
+            workload_args={"total_ops": sizes["big_machine"]}),
     }
 
 
@@ -81,26 +108,22 @@ def _peak_rss_kb() -> Optional[int]:
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
 
-def measure_spec(spec: RunSpec, repeats: int = 3) -> dict:
-    """Run ``spec`` ``repeats`` times on fresh machines; report the
-    best wall time (least-noise estimator for a deterministic job) and
-    the run's deterministic shape."""
-    best_wall = None
-    events = cycles = 0
-    fingerprint = ""
-    for _ in range(max(1, repeats)):
-        workload = spec.build_workload()
-        machine = Machine(spec.config)
-        start = time.perf_counter()
-        stats = machine.run_workload(workload, validate=spec.validate)
-        wall = time.perf_counter() - start
-        events = machine.sim.events_fired
-        cycles = stats.total_cycles
-        fingerprint = result_fingerprint(RunResult(
-            config=spec.config, workload_name=workload.name,
-            stats=stats, store=machine.store))
-        if best_wall is None or wall < best_wall:
-            best_wall = wall
+def _measure_once(spec: RunSpec, config: SystemConfig) -> tuple:
+    """One timed run on a fresh machine: (wall, events, cycles, fp)."""
+    workload = spec.build_workload()
+    machine = Machine(config)
+    start = time.perf_counter()
+    stats = machine.run_workload(workload, validate=spec.validate)
+    wall = time.perf_counter() - start
+    fingerprint = result_fingerprint(RunResult(
+        config=config, workload_name=workload.name,
+        stats=stats, store=machine.store))
+    return wall, machine.sim.events_fired, stats.total_cycles, fingerprint
+
+
+def _row(samples: list) -> dict:
+    """Best-wall summary row from ``_measure_once`` samples."""
+    best_wall, events, cycles, fingerprint = min(samples)
     return {
         "wall_s": round(best_wall, 6),
         "events": events,
@@ -111,28 +134,86 @@ def measure_spec(spec: RunSpec, repeats: int = 3) -> dict:
     }
 
 
+def measure_spec(spec: RunSpec, repeats: int = 3,
+                 backend: Optional[str] = None) -> dict:
+    """Run ``spec`` ``repeats`` times on fresh machines; report the
+    best wall time (least-noise estimator for a deterministic job) and
+    the run's deterministic shape.  ``backend`` overrides the spec's
+    kernel backend when given."""
+    config = (spec.config if backend is None
+              else spec.config.with_backend(backend))
+    samples = [_measure_once(spec, config)
+               for _ in range(max(1, repeats))]
+    return _row(samples)
+
+
+def measure_ab(spec: RunSpec, repeats: int = 3) -> dict[str, dict]:
+    """Interleaved A/B of one spec: backend -> best-of-``repeats`` row.
+
+    Repeats alternate reference/batched within a single process so both
+    backends sample the same machine state; see the module docstring
+    for why sequential per-backend loops are not trustworthy.
+    """
+    samples: dict[str, list] = {b: [] for b in SystemConfig.KNOWN_BACKENDS}
+    configs = {b: spec.config.with_backend(b)
+               for b in SystemConfig.KNOWN_BACKENDS}
+    for _ in range(max(1, repeats)):
+        for backend, config in configs.items():
+            samples[backend].append(_measure_once(spec, config))
+    return {backend: _row(rows) for backend, rows in samples.items()}
+
+
 def run_perf(quick: bool = False, repeats: int = 3,
-             baseline: Optional[dict] = None) -> dict:
+             baseline: Optional[dict] = None,
+             backend: str = "reference", ab: bool = False) -> dict:
     """Measure every perf workload; returns a BENCH-schema payload.
 
     ``baseline`` is an earlier ``run_perf`` payload (e.g. measured on
     the parent commit on the same machine); when given, per-workload
     speedups are recorded under ``config`` for human consumption.
+
+    ``backend`` selects the kernel backend for the top-level
+    ``results`` rows.  ``ab=True`` measures *both* backends interleaved
+    instead: ``results`` then holds the reference rows (so ``repro
+    trend`` stays comparable against pre-A/B artifacts) while the
+    batched rows and the per-workload speedup table land under
+    ``config["backends"]`` / ``config["speedup_batched_vs_reference"]``.
     """
     specs = perf_specs(quick=quick)
     total_start = time.perf_counter()
-    results = {name: measure_spec(spec, repeats=repeats)
-               for name, spec in specs.items()}
+    backends_block: dict[str, dict[str, dict]] = {}
+    if ab:
+        per_spec = {name: measure_ab(spec, repeats=repeats)
+                    for name, spec in specs.items()}
+        results = {name: rows["reference"]
+                   for name, rows in per_spec.items()}
+        for other in SystemConfig.KNOWN_BACKENDS:
+            if other != "reference":
+                backends_block[other] = {
+                    name: rows[other] for name, rows in per_spec.items()}
+    else:
+        results = {name: measure_spec(spec, repeats=repeats,
+                                      backend=backend)
+                   for name, spec in specs.items()}
     payload = stamp_schema({
         "bench": "perf",
         "config": {
             "quick": quick,
             "repeats": repeats,
+            "backend": "ab" if ab else backend,
             "workload_sizes": dict(_SIZES["quick" if quick else "full"]),
         },
         "results": results,
         "wall_seconds": round(time.perf_counter() - total_start, 3),
     })
+    if backends_block:
+        payload["config"]["backends"] = backends_block
+        batched = backends_block.get("batched", {})
+        payload["config"]["speedup_batched_vs_reference"] = {
+            name: round(row["events_per_sec"]
+                        / results[name]["events_per_sec"], 3)
+            for name, row in batched.items()
+            if results.get(name, {}).get("events_per_sec")}
     if baseline is not None:
         base_results = baseline.get("results", {})
         speedups = {}
@@ -188,16 +269,66 @@ def check_throughput(current: dict, reference: dict,
     return failures
 
 
-def render_table(payload: dict) -> str:
-    """Human-readable summary of a perf payload."""
-    lines = [f"{'workload':<24} {'events/s':>12} {'wall_s':>9} "
-             f"{'events':>9} {'cycles':>9}  fingerprint"]
-    for name, row in payload.get("results", {}).items():
+def check_backend_fingerprints(payload: dict) -> list[str]:
+    """Failures where an A/B payload's backends disagree behaviourally.
+
+    The kernel backends are contractually bit-identical; a fingerprint
+    mismatch between the reference rows (``results``) and any backend
+    block under ``config["backends"]`` means the batched core diverged
+    from the reference semantics.  CI treats any entry here as a hard
+    failure -- unlike throughput, there is no noise tolerance.
+    """
+    failures = []
+    reference = payload.get("results", {})
+    for backend, rows in payload.get("config", {}).get(
+            "backends", {}).items():
+        for name, row in rows.items():
+            ref_row = reference.get(name)
+            if ref_row is None:
+                continue
+            if row.get("fingerprint") != ref_row.get("fingerprint"):
+                failures.append(
+                    f"{name}: backend {backend!r} fingerprint "
+                    f"{row.get('fingerprint', '')[:16]} != reference "
+                    f"{ref_row.get('fingerprint', '')[:16]}")
+            if (row.get("events"), row.get("cycles")) != (
+                    ref_row.get("events"), ref_row.get("cycles")):
+                failures.append(
+                    f"{name}: backend {backend!r} run shape "
+                    f"({row.get('events')} ev / {row.get('cycles')} cyc) "
+                    f"!= reference ({ref_row.get('events')} ev / "
+                    f"{ref_row.get('cycles')} cyc)")
+    return failures
+
+
+def _table_rows(results: dict, lines: list[str]) -> None:
+    for name, row in results.items():
         lines.append(
             f"{name:<24} {row['events_per_sec']:>12,} "
             f"{row['wall_s']:>9.3f} {row['events']:>9,} "
             f"{row['cycles']:>9,}  {row['fingerprint'][:16]}")
-    speedups = payload.get("config", {}).get("speedup_events_per_sec")
+
+
+def render_table(payload: dict) -> str:
+    """Human-readable summary of a perf payload."""
+    config = payload.get("config", {})
+    backends = config.get("backends", {})
+    header = (f"{'workload':<24} {'events/s':>12} {'wall_s':>9} "
+              f"{'events':>9} {'cycles':>9}  fingerprint")
+    lines = []
+    if backends:
+        lines.append("backend: reference")
+    lines.append(header)
+    _table_rows(payload.get("results", {}), lines)
+    for backend, rows in backends.items():
+        lines.append(f"backend: {backend}")
+        lines.append(header)
+        _table_rows(rows, lines)
+    ab_speedups = config.get("speedup_batched_vs_reference")
+    if ab_speedups:
+        pretty = ", ".join(f"{k}: {v:.2f}x" for k, v in ab_speedups.items())
+        lines.append(f"batched vs reference (interleaved A/B): {pretty}")
+    speedups = config.get("speedup_events_per_sec")
     if speedups:
         pretty = ", ".join(f"{k}: {v:.2f}x" for k, v in speedups.items())
         lines.append(f"speedup vs recorded baseline: {pretty}")

@@ -46,6 +46,13 @@ class ThreadEnv:
         self.num_cpus = num_cpus
         self.rng = rng
         self.cs_completed = 0
+        # Interned ops: workload loops issue the same (addr, pc) reads
+        # and fixed-cycle computes millions of times, and the ops are
+        # never mutated after construction, so per-thread caches replace
+        # a dataclass construction per issue with a dict probe.  Writes
+        # are not interned (their values vary per iteration).
+        self._read_ops: dict = {}
+        self._compute_ops: dict = {}
 
     @property
     def cpu_id(self) -> int:
@@ -55,14 +62,24 @@ class ThreadEnv:
     # Plain operations (yield the returned op)
     # ------------------------------------------------------------------
     def read(self, addr: int, pc: str = "", lock: bool = False) -> isa.Read:
-        return isa.Read(addr=addr, pc=pc, is_lock=lock)
+        key = (addr, pc, lock)
+        op = self._read_ops.get(key)
+        if op is None:
+            op = self._read_ops[key] = isa.Read(addr=addr, pc=pc,
+                                                is_lock=lock)
+        return op
 
     def write(self, addr: int, value: int, pc: str = "",
               lock: bool = False) -> isa.Write:
         return isa.Write(addr=addr, value=value, pc=pc, is_lock=lock)
 
     def compute(self, cycles: int) -> isa.Compute:
-        return isa.Compute(cycles=max(0, cycles))
+        if cycles < 0:
+            cycles = 0
+        op = self._compute_ops.get(cycles)
+        if op is None:
+            op = self._compute_ops[cycles] = isa.Compute(cycles=cycles)
+        return op
 
     def fair_delay(self, lo: int = 20, hi: int = 200) -> int:
         """The paper's post-release randomized delay: after releasing a

@@ -1,0 +1,283 @@
+"""Flat-array L1 fast path for the batched kernel backend.
+
+The reference hot path for an L1 hit walks ``Processor._do_read`` ->
+``CacheController.try_hit`` -> ``CacheArray.lookup`` -> ``State`` property
+checks -> ``mark_accessed`` (a second lookup) -- around ten Python calls
+and a dict-of-dicts chase per memory operation.  This module collapses
+that chain into a handful of int operations against *flat parallel
+arrays*:
+
+* ``FlatL1Index.slot_of`` maps a line address to a small integer slot;
+* ``FlatL1Index.flags`` is an ``array('q')`` of permission bits per slot
+  (bit 0 = valid, bit 1 = writable, so ``flags[slot] & need`` answers
+  the MOESI hit question in one mask test);
+* ``FlatL1Index.lines`` holds the backing :class:`Line` object per slot
+  for the rare fields the fast leg still touches (LRU stamp, access bits).
+
+The index mirrors *main-array residency only*.  Victim-cache residents,
+wrong-state hits and misses all fall back to the unmodified reference
+path, which preserves every side effect of the slow road (LRU bumps on
+failed state checks, victim promotion, MSHR merging) by construction.
+
+Synchronisation is funnelled through three writers: ``CacheArray``
+install/evict/drop keep membership in sync, and
+``CacheController._set_state`` keeps the permission bits in sync at the
+six places a resident line's MOESI state can change.  The contract --
+enforced by the cross-backend golden-fingerprint suite -- is that a
+machine built with :class:`FastProcessor` is *bit-identical* to the
+reference: same event stream, same RNG draws, same LRU clock, same
+fingerprint.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Optional
+
+from repro.coherence.states import Line, State
+from repro.cpu import isa
+from repro.cpu.processor import Processor, _PENDING
+from repro.cpu.writebuffer import WriteBufferOverflow
+
+# Permission bits per MOESI state live as a precomputed plain attribute
+# on each State member (``state.flat_bits``, see repro.coherence.states):
+# bit 0 valid, bit 1 writable.  ``writable`` implies ``valid`` for every
+# member, so a single mask test ``flags[slot] & (2 if need_writable else
+# 1)`` reproduces the reference check ``state.valid and (not
+# need_writable or state.writable)``.
+
+_LINE_SHIFT = isa._LINE_SHIFT
+
+
+class FlatL1Index:
+    """Flat mirror of one L1's main-array residency and permissions."""
+
+    __slots__ = ("slot_of", "flags", "lines", "_free")
+
+    def __init__(self) -> None:
+        self.slot_of: dict[int, int] = {}
+        self.flags = array("q")
+        self.lines: list[Optional[Line]] = []
+        self._free: list[int] = []
+
+    def add(self, line: Line) -> None:
+        """A line entered the main array (install or victim promotion)."""
+        bits = line.state.flat_bits
+        slot = self.slot_of.get(line.addr)
+        if slot is not None:  # re-install over an existing mapping
+            self.lines[slot] = line
+            self.flags[slot] = bits
+            return
+        free = self._free
+        if free:
+            slot = free.pop()
+            self.lines[slot] = line
+            self.flags[slot] = bits
+        else:
+            slot = len(self.lines)
+            self.lines.append(line)
+            self.flags.append(bits)
+        self.slot_of[line.addr] = slot
+
+    def remove(self, line_addr: int) -> None:
+        """A line left the main array (eviction to victim, or drop)."""
+        slot = self.slot_of.pop(line_addr, None)
+        if slot is not None:
+            self.flags[slot] = 0
+            self.lines[slot] = None
+            self._free.append(slot)
+
+    def update(self, line: Line) -> None:
+        """A resident line's MOESI state changed; refresh its bits.
+
+        The two hot sync sites (``CacheController._set_state`` and
+        ``CacheArray.install``) inline this body to skip the call.
+        """
+        slot = self.slot_of.get(line.addr)
+        if slot is not None:
+            self.flags[slot] = line.state.flat_bits
+
+
+class FastProcessor(Processor):
+    """Processor with flat-array fused hit legs for loads and stores.
+
+    Only the *pure L1 hit* road is specialised; anything else -- victim
+    hits, wrong-state hits, misses, LL/SC, atomics -- falls through to
+    the inherited reference implementation unchanged.  The fused legs
+    replicate the reference side effects exactly: one LRU clock bump for
+    the ``try_hit`` lookup, a second bump for ``mark_accessed``'s lookup
+    when the controller is speculating, the same stats counters in the
+    same order, and the same write-buffer / RMW-predictor interactions.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        cache = self.controller.cache
+        flat = FlatL1Index()
+        cache._flat = flat
+        # Mirror any pre-existing main-array residency (the cache is
+        # empty when the machine builder constructs processors, but stay
+        # correct if a harness warms the cache first).
+        for cache_set in cache._sets:
+            for line in cache_set.values():
+                flat.add(line)
+        self._cache = cache
+        self._slot_of = flat.slot_of
+        self._flags = flat.flags
+        self._flines = flat.lines
+        # The write buffer is never shimmed, so its methods may be bound
+        # once here.  ``_arch_read`` and ``store.write`` must stay late
+        # lookups: the verify/record observers (FootprintRecorder)
+        # replace them with instance-attribute shims *after* machine
+        # construction, and the fused legs must stay observable.
+        self._wb_read = self.write_buffer.read
+        self._wb_write = self.write_buffer.write
+
+    # -- loads ----------------------------------------------------------
+    def _do_read(self, op: isa.Read) -> object:
+        stats = self.stats
+        stats.loads += 1
+        stats.ops_completed += 1
+        spec_active = self.spec.active
+        if spec_active:
+            buffered = self._wb_read(op.addr)
+            if buffered is not None:
+                self._debt += self._hit_latency
+                return buffered
+        addr = op.addr
+        line = addr >> _LINE_SHIFT
+        ctl = self.controller
+        if op.is_lock:
+            want_x = False
+        elif spec_active and (ctl.upgrade_violations[line]
+                              >= self._read_esc_threshold):
+            want_x = True
+        else:
+            want_x = self.cs_depth > 0 and self.rmw.predict_exclusive(op.pc)
+        slot = self._slot_of.get(line)
+        if slot is not None and self._flags[slot] & (2 if want_x else 1):
+            # Fused hit leg == try_hit + _arch_read + mark_accessed +
+            # _note_cs_load, with both lookups' LRU bumps preserved.
+            cache = self._cache
+            line_obj = self._flines[slot]
+            clock = cache._use_clock + 1
+            cache._use_clock = clock
+            line_obj.last_use = clock
+            stats.l1_hits += 1
+            value = self._arch_read(addr)
+            if ctl.speculating:
+                clock = cache._use_clock + 1
+                cache._use_clock = clock
+                line_obj.last_use = clock
+                line_obj.accessed = True
+                if want_x:  # as_written = want_x and spec.active
+                    line_obj.spec_written = True
+                ctl._spec_touched[line] = line_obj
+            if self.cs_depth > 0 and op.pc and not op.is_lock:
+                self._cs_loads[addr] = op.pc
+            self._debt += self._hit_latency
+            return value
+        # Slow road: the reference path from the try_hit probe onward
+        # (covers victim promotion, wrong-state LRU bumps, and misses).
+        as_written = want_x and spec_active
+        if ctl.try_hit(line, want_x):
+            value = self._arch_read(op.addr)
+            ctl.mark_accessed(line, written=as_written)
+            self._note_cs_load(op)
+            self._debt += self._hit_latency
+            return value
+        issue_time = self.sim.now
+        epoch = self.epoch
+
+        def effect() -> None:
+            if self.epoch != epoch:
+                return
+            value = self._arch_read(op.addr)
+            ctl.mark_accessed(line, written=as_written)
+            self._note_cs_load(op)
+            self._charge_wait(issue_time, op.is_lock)
+            self._resume_later(value)
+
+        hit = ctl.access(line, write=False, on_effect=effect,
+                         want_exclusive=want_x, is_lock=op.is_lock,
+                         still_wanted=lambda: self.epoch == epoch)
+        if hit:
+            value = self._arch_read(op.addr)
+            ctl.mark_accessed(line, written=as_written)
+            self._note_cs_load(op)
+            self._debt += self._hit_latency
+            return value
+        return _PENDING
+
+    # -- stores ---------------------------------------------------------
+    def _do_write(self, op: isa.Write) -> object:
+        stats = self.stats
+        stats.stores += 1
+        stats.ops_completed += 1
+        epoch_before = self.epoch
+        if self.spec.absorbs_release(op):
+            self._debt += self._hit_latency
+            return None
+        if self.epoch != epoch_before:
+            # Absorption killed the speculation (non-silent store pair).
+            return _PENDING
+        addr = op.addr
+        line = addr >> _LINE_SHIFT
+        slot = self._slot_of.get(line)
+        if slot is not None and self._flags[slot] & 2:
+            # Fused hit leg == try_hit(writable) + _apply_store +
+            # _train_store.
+            cache = self._cache
+            line_obj = self._flines[slot]
+            clock = cache._use_clock + 1
+            cache._use_clock = clock
+            line_obj.last_use = clock
+            stats.l1_hits += 1
+            ctl = self.controller
+            if self.spec.active:
+                try:
+                    self._wb_write(addr, op.value)
+                except WriteBufferOverflow:
+                    self.resource_fallback("wb-overflow")
+                    return _PENDING
+                if ctl.speculating:
+                    clock = cache._use_clock + 1
+                    cache._use_clock = clock
+                    line_obj.last_use = clock
+                    line_obj.accessed = True
+                    line_obj.spec_written = True
+                    ctl._spec_touched[line] = line_obj
+            else:
+                self.store.write(addr, op.value)
+            pc = self._cs_loads.pop(addr, None)
+            if pc is not None:
+                self.rmw.train_rmw(pc)
+            self._debt += self._hit_latency
+            return None
+        # Slow road: the reference store path from the try_hit probe on.
+        ctl = self.controller
+        if ctl.try_hit(line, True):
+            if not self._apply_store(op):
+                return _PENDING
+            self._debt += self._hit_latency
+            return None
+        issue_time = self.sim.now
+        epoch = self.epoch
+
+        def effect() -> None:
+            if self.epoch != epoch:
+                return
+            if not self._apply_store(op):
+                return  # resource fallback under way; op squashed
+            self._charge_wait(issue_time, op.is_lock)
+            self._resume_later(None)
+
+        hit = ctl.access(line, write=True, on_effect=effect,
+                         is_lock=op.is_lock,
+                         still_wanted=lambda: self.epoch == epoch)
+        if hit:
+            if not self._apply_store(op):
+                return _PENDING
+            self._debt += self._hit_latency
+            return None
+        return _PENDING

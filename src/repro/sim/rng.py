@@ -42,9 +42,15 @@ class LatencyPerturber:
     def __init__(self, rng: random.Random, max_jitter: int = 2):
         self._rng = rng
         self.max_jitter = max_jitter
+        # randrange(n) with a single positive int argument reduces to
+        # _randbelow(n); binding it directly skips the argument
+        # normalisation wrapper on every memory-system event while
+        # drawing the exact same stream.
+        self._span = max_jitter + 1
+        self._randbelow = rng._randbelow
 
     def perturb(self, latency: int) -> int:
         """Return ``latency`` plus 0..max_jitter cycles of jitter."""
         if self.max_jitter <= 0:
             return latency
-        return latency + self._rng.randrange(self.max_jitter + 1)
+        return latency + self._randbelow(self._span)

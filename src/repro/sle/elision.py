@@ -50,16 +50,16 @@ class SpeculationManager:
             entries=config.spec.store_pair_predictor_entries, tlr=self.tlr)
         self.authority = TimestampAuthority(processor.cpu_id)
         self.checkpoint: Optional[SpeculationCheckpoint] = None
+        #: Mirror of ``checkpoint is not None``, kept as a plain
+        #: attribute because the processor consults it on every memory
+        #: operation and a property costs a Python call per read.
+        self.active = False
         self._suppress_next = False
         self._attempts = 0
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    @property
-    def active(self) -> bool:
-        return self.checkpoint is not None
-
     @property
     def root_pc(self) -> str:
         return self.checkpoint.elisions[0].pc if (
@@ -98,6 +98,7 @@ class SpeculationManager:
         self.checkpoint = SpeculationCheckpoint(
             start_time=self.processor.sim.now, ts=ts, root_depth=cs_depth,
             attempts=self._attempts)
+        self.active = True
         self.checkpoint.push(ElisionRecord(
             lock_addr=op.addr, free_value=free_value,
             held_value=op.value, pc=op.pc, depth=cs_depth))
@@ -139,6 +140,7 @@ class SpeculationManager:
             self.authority.commit()
             self.stats.timestamp_updates += 1
         self.checkpoint = None
+        self.active = False
         self._attempts = 0
         self.stats.elisions_committed += 1
 
@@ -176,6 +178,7 @@ class SpeculationManager:
             self.authority.abandon()
             self._attempts = 0
         self.checkpoint = None
+        self.active = False
         return depth
 
     def observe_conflict_ts(self, ts) -> None:
